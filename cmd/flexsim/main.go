@@ -1,0 +1,129 @@
+// Command flexsim runs one link-level MIMO-OFDM uplink simulation and
+// reports PER, BER and network throughput for a chosen detector.
+//
+// Example:
+//
+//	flexsim -users 8 -antennas 8 -qam 16 -snr 14 -detector flexcore -npe 32 -packets 100
+//	flexsim -users 12 -antennas 12 -qam 64 -snr 21.6 -detector ml
+//	flexsim -users 8 -antennas 8 -qam 64 -snr 18 -detector aflexcore -npe 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"flexcore/internal/coding"
+	"flexcore/internal/constellation"
+	"flexcore/internal/core"
+	"flexcore/internal/detector"
+	"flexcore/internal/phy"
+)
+
+func main() {
+	users := flag.Int("users", 8, "number of single-antenna uplink users (Nt)")
+	antennas := flag.Int("antennas", 8, "AP receive antennas (Nr)")
+	qam := flag.Int("qam", 16, "QAM order (4, 16, 64, 256, 1024)")
+	snr := flag.Float64("snr", 14, "per-stream SNR Es/σ² in dB")
+	detName := flag.String("detector", "flexcore", "detector: flexcore|aflexcore|ml|mmse|zf|sic|fcsd|kbest|trellis|lrzf")
+	npe := flag.Int("npe", 32, "processing elements for flexcore/aflexcore; K for kbest; |Q|^L paths pick L for fcsd")
+	packets := flag.Int("packets", 50, "packets to simulate")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	subcarriers := flag.Int("subcarriers", 16, "simulated data subcarriers (NCBPS must be a multiple of 16)")
+	symbols := flag.Int("symbols", 8, "OFDM symbols per packet")
+	channelKind := flag.String("channel", "tdl", "channel model: tdl|flat|iid")
+	rho := flag.Float64("rho", 0, "AP-side antenna correlation for flat channels")
+	soft := flag.Bool("soft", false, "soft-decision decoding (flexcore/aflexcore only)")
+	pilots := flag.Int("pilots", 0, "LS channel estimation from this many pilot symbols (0 = genie CSI)")
+	flag.Parse()
+
+	cons, err := constellation.New(*qam)
+	if err != nil {
+		fatal(err)
+	}
+	link := phy.LinkConfig{
+		Users:         *users,
+		APAntennas:    *antennas,
+		Constellation: cons,
+		CodeRate:      coding.Rate12,
+		Subcarriers:   *subcarriers,
+		OFDMSymbols:   *symbols,
+	}
+	det, err := makeDetector(strings.ToLower(*detName), cons, *npe)
+	if err != nil {
+		fatal(err)
+	}
+	var channels phy.ChannelProvider
+	switch *channelKind {
+	case "flat":
+		channels = &phy.FlatProvider{Seed: *seed, Users: *users, APAntennas: *antennas, Subcarriers: *subcarriers, APCorrelation: *rho}
+	case "iid":
+		channels = &phy.IIDProvider{Seed: *seed, Users: *users, APAntennas: *antennas, Subcarriers: *subcarriers}
+	case "tdl":
+		channels = nil // phy.Run synthesizes the default indoor TDL
+	default:
+		fatal(fmt.Errorf("unknown channel model %q", *channelKind))
+	}
+
+	res, err := phy.Run(phy.SimConfig{
+		Link:         link,
+		SNRdB:        *snr,
+		Packets:      *packets,
+		Seed:         *seed,
+		Detector:     det,
+		Channels:     channels,
+		Soft:         *soft,
+		PilotSymbols: *pilots,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("detector      %s\n", det.Name())
+	fmt.Printf("system        %d users × %d antennas, %d-QAM, rate-1/2, %.1f dB\n", *users, *antennas, *qam, *snr)
+	fmt.Printf("user packets  %d (%d errors)\n", res.UserPackets, res.PacketErrors)
+	fmt.Printf("PER           %.4f\n", res.PER)
+	fmt.Printf("BER           %.3e\n", res.BER)
+	fmt.Printf("throughput    %.1f Mbit/s (48-subcarrier 802.11 symbol)\n", res.ThroughputBps/1e6)
+	if res.AvgActivePEs > 0 {
+		fmt.Printf("active PEs    %.1f\n", res.AvgActivePEs)
+	}
+	ops := det.OpCount().PerDetection()
+	fmt.Printf("per detection %d real muls, %d FLOPs, %d nodes\n", ops.RealMuls, ops.FLOPs, ops.Nodes)
+}
+
+func makeDetector(name string, cons *constellation.Constellation, npe int) (detector.Detector, error) {
+	switch name {
+	case "flexcore":
+		return core.New(cons, core.Options{NPE: npe}), nil
+	case "aflexcore":
+		return core.New(cons, core.Options{NPE: npe, Threshold: 0.95}), nil
+	case "ml":
+		return detector.NewSphere(cons), nil
+	case "mmse":
+		return detector.NewMMSE(cons), nil
+	case "zf":
+		return detector.NewZF(cons), nil
+	case "sic":
+		return detector.NewSIC(cons), nil
+	case "fcsd":
+		l := 1
+		for p := cons.Size(); p < npe; p *= cons.Size() {
+			l++
+		}
+		return detector.NewFCSD(cons, l), nil
+	case "kbest":
+		return detector.NewKBest(cons, npe), nil
+	case "trellis":
+		return detector.NewTrellis(cons), nil
+	case "lrzf":
+		return detector.NewLRZF(cons), nil
+	default:
+		return nil, fmt.Errorf("unknown detector %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "flexsim: %v\n", err)
+	os.Exit(1)
+}

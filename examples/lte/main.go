@@ -1,0 +1,37 @@
+// LTE: Fig. 12's feasibility view — for every LTE bandwidth mode, how
+// many sphere-decoder paths each detector can evaluate within the 500 µs
+// timeslot on the calibrated GPU model, and what that implies.
+package main
+
+import (
+	"fmt"
+
+	"flexcore/internal/platform/gpu"
+	"flexcore/internal/platform/lte"
+)
+
+func main() {
+	d := gpu.GTX970
+	fmt.Printf("device: %s — %d lanes, %.0f µs fixed overhead\n\n", d.Name, d.Cores, d.Overhead*1e6)
+	for _, nt := range []int{8, 12} {
+		fmt.Printf("%d users × %d AP antennas, 64-QAM\n", nt, nt)
+		fmt.Printf("%-10s %-14s %-16s %-14s %s\n", "mode", "vectors/slot", "FlexCore paths", "FCSD L=1", "FCSD L=2")
+		for _, m := range lte.Modes {
+			flexPaths := m.MaxPaths(d, nt, true)
+			f1 := "infeasible"
+			if m.SupportsFCSD(d, nt, 64, 1) {
+				f1 = "ok (64 paths)"
+			}
+			f2 := "infeasible"
+			if m.SupportsFCSD(d, nt, 64, 2) {
+				f2 = "ok (4096 paths)"
+			}
+			fmt.Printf("%-10s %-14d %-16d %-14s %s\n", m.Name, m.VectorsPerSlot(), flexPaths, f1, f2)
+		}
+		fmt.Println()
+	}
+	fmt.Println("FlexCore degrades gracefully (fewer paths, small SNR loss) as the")
+	fmt.Println("bandwidth grows; the FCSD's all-or-|Q|^L path requirement makes it")
+	fmt.Println("infeasible beyond the narrowest mode — the paper's Fig. 12.")
+	fmt.Println("Run `flexbench fig12` for the measured SNR losses at these budgets.")
+}

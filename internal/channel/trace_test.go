@@ -1,0 +1,147 @@
+package channel
+
+import (
+	"math"
+	"testing"
+)
+
+func testTraceConfig() TraceConfig {
+	return TraceConfig{
+		Seed:          99,
+		Users:         12,
+		APAntennas:    12,
+		Subcarriers:   []int{0, 8, 16, 24, 32, 40},
+		Drops:         5,
+		APCorrelation: 0.4,
+		SNRSpreadDB:   3,
+	}
+}
+
+func TestSynthesizeShapeAndDeterminism(t *testing.T) {
+	cfg := testTraceConfig()
+	a, err := Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.H) != cfg.Drops {
+		t.Fatalf("drops %d", len(a.H))
+	}
+	for _, drop := range a.H {
+		if len(drop) != len(cfg.Subcarriers) {
+			t.Fatalf("subcarriers %d", len(drop))
+		}
+		for _, h := range drop {
+			if h.Rows != cfg.APAntennas || h.Cols != cfg.Users {
+				t.Fatalf("shape %d×%d", h.Rows, h.Cols)
+			}
+		}
+	}
+	b, err := Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := range a.H {
+		for k := range a.H[d] {
+			if !a.H[d][k].EqualApprox(b.H[d][k], 0) {
+				t.Fatal("same seed produced different traces")
+			}
+		}
+	}
+	cfg.Seed++
+	c, err := Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.H[0][0].EqualApprox(c.H[0][0], 1e-9) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestSynthesizeSNRSpreadBound(t *testing.T) {
+	cfg := testTraceConfig()
+	cfg.Drops = 20
+	cfg.APCorrelation = 0
+	ts, err := Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-user average power across subcarriers and drops must stay
+	// within the configured spread (up to small-sample fading noise).
+	for d := range ts.H {
+		powers := make([]float64, cfg.Users)
+		for u := 0; u < cfg.Users; u++ {
+			var p float64
+			var n int
+			for k := range ts.H[d] {
+				col := ts.H[d][k].Col(u)
+				for _, v := range col {
+					p += real(v)*real(v) + imag(v)*imag(v)
+					n++
+				}
+			}
+			powers[u] = p / float64(n)
+		}
+		lo, hi := powers[0], powers[0]
+		for _, p := range powers[1:] {
+			lo = math.Min(lo, p)
+			hi = math.Max(hi, p)
+		}
+		spread := 10 * math.Log10(hi/lo)
+		// 3 dB configured spread plus fading variation margin.
+		if spread > 3+7 {
+			t.Fatalf("drop %d: user power spread %.1f dB too large", d, spread)
+		}
+	}
+}
+
+func TestUserSubset(t *testing.T) {
+	ts, err := Synthesize(testTraceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := ts.UserSubset(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Config.Users != 6 {
+		t.Fatal("subset user count")
+	}
+	for d := range sub.H {
+		for k := range sub.H[d] {
+			if sub.H[d][k].Cols != 6 {
+				t.Fatal("subset column count")
+			}
+			for i := 0; i < sub.H[d][k].Rows; i++ {
+				for j := 0; j < 6; j++ {
+					if sub.H[d][k].At(i, j) != ts.H[d][k].At(i, j) {
+						t.Fatal("subset does not preserve entries")
+					}
+				}
+			}
+		}
+	}
+	if _, err := ts.UserSubset(13); err == nil {
+		t.Fatal("oversized subset accepted")
+	}
+	if _, err := ts.UserSubset(0); err == nil {
+		t.Fatal("zero subset accepted")
+	}
+}
+
+func TestSynthesizeValidation(t *testing.T) {
+	cfg := testTraceConfig()
+	cfg.Users = 13 // more users than antennas
+	if _, err := Synthesize(cfg); err == nil {
+		t.Fatal("accepted users > antennas")
+	}
+	cfg = testTraceConfig()
+	cfg.Subcarriers = nil
+	if _, err := Synthesize(cfg); err == nil {
+		t.Fatal("accepted empty subcarrier list")
+	}
+	cfg = testTraceConfig()
+	cfg.Drops = 0
+	if _, err := Synthesize(cfg); err == nil {
+		t.Fatal("accepted zero drops")
+	}
+}

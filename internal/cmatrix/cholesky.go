@@ -1,0 +1,38 @@
+package cmatrix
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Cholesky returns the lower-triangular factor L with A = L·Lᴴ for a
+// Hermitian positive-definite matrix A, or ErrSingular when A is not
+// numerically positive definite.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		panic("cmatrix: Cholesky requires a square matrix")
+	}
+	n := a.Rows
+	l := New(n, n)
+	for j := 0; j < n; j++ {
+		// Diagonal entry.
+		d := real(a.At(j, j))
+		for k := 0; k < j; k++ {
+			v := l.At(j, k)
+			d -= real(v)*real(v) + imag(v)*imag(v)
+		}
+		if d <= 0 {
+			return nil, ErrSingular
+		}
+		ljj := math.Sqrt(d)
+		l.Set(j, j, complex(ljj, 0))
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * cmplx.Conj(l.At(j, k))
+			}
+			l.Set(i, j, s/complex(ljj, 0))
+		}
+	}
+	return l, nil
+}

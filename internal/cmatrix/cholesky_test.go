@@ -1,0 +1,60 @@
+package cmatrix
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestCholeskyReconstructs(t *testing.T) {
+	rng := newRng(61)
+	for _, n := range []int{1, 3, 8, 12} {
+		// Build a Hermitian PD matrix A = BᴴB + I.
+		b := randMatrix(rng, n+2, n)
+		a := b.H().Mul(b).Add(Identity(n))
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !l.Mul(l.H()).EqualApprox(a, 1e-9) {
+			t.Fatalf("n=%d: L·Lᴴ != A", n)
+		}
+		// L must be lower triangular with positive real diagonal.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if l.At(i, j) != 0 {
+					t.Fatalf("L(%d,%d) above diagonal", i, j)
+				}
+			}
+			if d := l.At(i, i); imag(d) != 0 || real(d) <= 0 {
+				t.Fatalf("L(%d,%d) = %v not positive real", i, i, d)
+			}
+		}
+	}
+}
+
+func TestCholeskyExponentialCorrelation(t *testing.T) {
+	// The exponential correlation matrix used for AP-side antenna
+	// correlation must be positive definite for |ρ| < 1.
+	n, rho := 12, 0.7
+	a := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, complex(math.Pow(rho, math.Abs(float64(i-j))), 0))
+		}
+	}
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Mul(l.H()).EqualApprox(a, 1e-9) {
+		t.Fatal("exponential correlation reconstruction failed")
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := FromRows([][]complex128{{1, 2}, {2, 1}}) // eigenvalues 3, −1
+	if _, err := Cholesky(a); !errors.Is(err, ErrSingular) {
+		t.Fatalf("expected ErrSingular, got %v", err)
+	}
+}

@@ -1,0 +1,93 @@
+package cmatrix
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func TestCLLLUnimodularTransform(t *testing.T) {
+	rng := newRng(71)
+	for _, n := range []int{2, 4, 8, 12} {
+		g := randMatrix(rng, n, n)
+		b, tr := CLLL(g, 0.75)
+		if !IsUnimodular(tr, 1e-9) {
+			t.Fatalf("n=%d: T not unimodular", n)
+		}
+		// B must equal G·T exactly (up to float error).
+		if !g.Mul(tr).EqualApprox(b, 1e-9) {
+			t.Fatalf("n=%d: B != G·T", n)
+		}
+	}
+}
+
+func TestCLLLImprovesOrthogonality(t *testing.T) {
+	rng := newRng(72)
+	improved := 0
+	const trials = 30
+	for i := 0; i < trials; i++ {
+		g := randMatrix(rng, 8, 8)
+		before := OrthogonalityDefect(g)
+		b, _ := CLLL(g, 0.75)
+		after := OrthogonalityDefect(b)
+		if after <= before*1.0001 {
+			improved++
+		}
+		if after > before*1.5 {
+			t.Fatalf("trial %d: reduction badly worsened the basis (%v → %v)", i, before, after)
+		}
+	}
+	if improved < trials*3/4 {
+		t.Fatalf("reduction improved only %d/%d bases", improved, trials)
+	}
+}
+
+func TestCLLLPreservesLattice(t *testing.T) {
+	// Any Gaussian-integer combination of the reduced basis must be a
+	// Gaussian-integer combination of the original one and vice versa:
+	// check by mapping unit vectors through T and T⁻¹ (via inverse).
+	rng := newRng(73)
+	g := randMatrix(rng, 6, 6)
+	_, tr := CLLL(g, 0.75)
+	inv, err := Inverse(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T⁻¹ must also be Gaussian-integer (unimodularity).
+	for _, v := range inv.Data {
+		if cmplx.Abs(v-roundGaussian(v)) > 1e-7 {
+			t.Fatalf("T⁻¹ entry %v not a Gaussian integer", v)
+		}
+	}
+}
+
+func TestCLLLIdentityStaysPut(t *testing.T) {
+	b, tr := CLLL(Identity(5), 0.75)
+	if !b.EqualApprox(Identity(5), 1e-12) {
+		t.Fatal("identity basis should be unchanged")
+	}
+	if !tr.EqualApprox(Identity(5), 1e-12) {
+		t.Fatal("transform should be identity")
+	}
+}
+
+func TestDeterminant(t *testing.T) {
+	a := FromRows([][]complex128{{2, 0}, {0, 3i}})
+	if d := determinant(a); cmplx.Abs(d-6i) > 1e-12 {
+		t.Fatalf("det = %v, want 6i", d)
+	}
+	if d := determinant(New(3, 3)); d != 0 {
+		t.Fatalf("det of zero matrix = %v", d)
+	}
+	rng := newRng(74)
+	m := randMatrix(rng, 5, 5)
+	// |det| must match the product of QR diagonal entries.
+	qr := QR(m)
+	want := 1.0
+	for i := 0; i < 5; i++ {
+		want *= real(qr.R.At(i, i))
+	}
+	if math.Abs(cmplx.Abs(determinant(m))-want) > 1e-9*want {
+		t.Fatalf("|det| %v, want %v", cmplx.Abs(determinant(m)), want)
+	}
+}

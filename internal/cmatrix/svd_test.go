@@ -1,0 +1,79 @@
+package cmatrix
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSingularValuesDiagonal(t *testing.T) {
+	a := New(3, 3)
+	a.Set(0, 0, 3)
+	a.Set(1, 1, complex(0, -5)) // magnitude 5
+	a.Set(2, 2, 1)
+	sv := SingularValues(a)
+	want := []float64{5, 3, 1}
+	for i := range want {
+		if math.Abs(sv[i]-want[i]) > 1e-9 {
+			t.Fatalf("σ[%d] = %v, want %v", i, sv[i], want[i])
+		}
+	}
+}
+
+func TestSingularValuesFrobenius(t *testing.T) {
+	rng := newRng(31)
+	for _, dims := range [][2]int{{4, 4}, {8, 8}, {12, 8}, {8, 12}} {
+		a := randMatrix(rng, dims[0], dims[1])
+		sv := SingularValues(a)
+		var sum float64
+		for _, s := range sv {
+			sum += s * s
+		}
+		f := a.FrobeniusNorm()
+		if math.Abs(sum-f*f) > 1e-8*(1+f*f) {
+			t.Fatalf("%v: Σσ² = %v, ||A||F² = %v", dims, sum, f*f)
+		}
+	}
+}
+
+func TestSingularValuesMatchEigsOfGram(t *testing.T) {
+	// For A = QR with known R, σ(A) = σ(R); check via the 2×2 closed form.
+	a := FromRows([][]complex128{{2, 1}, {0, 1}})
+	sv := SingularValues(a)
+	// Gram matrix eigenvalues of [[4,2],[2,2]]: 3±√5.
+	w1 := math.Sqrt(3 + math.Sqrt(5))
+	w2 := math.Sqrt(3 - math.Sqrt(5))
+	if math.Abs(sv[0]-w1) > 1e-9 || math.Abs(sv[1]-w2) > 1e-9 {
+		t.Fatalf("σ = %v, want [%v %v]", sv, w1, w2)
+	}
+}
+
+func TestCond2(t *testing.T) {
+	if c := Cond2(Identity(6)); math.Abs(c-1) > 1e-9 {
+		t.Fatalf("cond(I) = %v", c)
+	}
+	// Singular matrix → +Inf.
+	z := New(3, 3)
+	if c := Cond2(z); !math.IsInf(c, 1) {
+		t.Fatalf("cond(0) = %v, want +Inf", c)
+	}
+	// Unitary Q from a QR factorisation is perfectly conditioned.
+	rng := newRng(32)
+	h := randMatrix(rng, 8, 8)
+	q := QR(h).Q
+	if c := Cond2(q); math.Abs(c-1) > 1e-6 {
+		t.Fatalf("cond(Q) = %v, want 1", c)
+	}
+}
+
+func TestCondOrderingDetectsBadChannels(t *testing.T) {
+	rng := newRng(33)
+	good := randMatrix(rng, 8, 8)
+	bad := good.Copy()
+	// Make two columns nearly parallel.
+	for i := 0; i < 8; i++ {
+		bad.Set(i, 1, bad.At(i, 0)+1e-3*bad.At(i, 1))
+	}
+	if Cond2(bad) < 10*Cond2(good) {
+		t.Fatalf("conditioning not detected: good %v bad %v", Cond2(good), Cond2(bad))
+	}
+}

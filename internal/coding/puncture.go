@@ -1,0 +1,200 @@
+package coding
+
+import "fmt"
+
+// Rate identifies a coding rate of the 802.11 rate set.
+type Rate int
+
+const (
+	// Rate12 is the mother rate-1/2 code (no puncturing).
+	Rate12 Rate = iota
+	// Rate23 punctures to rate 2/3 (pattern A: 1 1, B: 1 0).
+	Rate23
+	// Rate34 punctures to rate 3/4 (pattern A: 1 1 0, B: 1 0 1).
+	Rate34
+)
+
+// Value returns the numeric code rate.
+func (r Rate) Value() float64 {
+	switch r {
+	case Rate12:
+		return 0.5
+	case Rate23:
+		return 2.0 / 3.0
+	case Rate34:
+		return 0.75
+	default:
+		panic(fmt.Sprintf("coding: unknown rate %d", int(r)))
+	}
+}
+
+func (r Rate) String() string {
+	switch r {
+	case Rate12:
+		return "1/2"
+	case Rate23:
+		return "2/3"
+	case Rate34:
+		return "3/4"
+	default:
+		return fmt.Sprintf("Rate(%d)", int(r))
+	}
+}
+
+// pattern returns the keep-mask over (A, B) output pairs, A first.
+func (r Rate) pattern() (a, b []bool) {
+	switch r {
+	case Rate12:
+		return []bool{true}, []bool{true}
+	case Rate23:
+		return []bool{true, true}, []bool{true, false}
+	case Rate34:
+		return []bool{true, true, false}, []bool{true, false, true}
+	default:
+		panic(fmt.Sprintf("coding: unknown rate %d", int(r)))
+	}
+}
+
+// Puncture removes the punctured positions from a rate-1/2 code word
+// (interleaved as A0 B0 A1 B1 …), producing the higher-rate stream.
+func Puncture(coded []uint8, r Rate) []uint8 {
+	if r == Rate12 {
+		out := make([]uint8, len(coded))
+		copy(out, coded)
+		return out
+	}
+	pa, pb := r.pattern()
+	period := len(pa)
+	out := make([]uint8, 0, len(coded))
+	for i := 0; i*2 < len(coded); i++ {
+		ph := i % period
+		if pa[ph] {
+			out = append(out, coded[2*i])
+		}
+		if pb[ph] {
+			out = append(out, coded[2*i+1])
+		}
+	}
+	return out
+}
+
+// Depuncture re-inserts Erasure symbols at the punctured positions so the
+// Viterbi decoder sees a rate-1/2 stream of pairs. pairs is the number of
+// (A,B) output pairs of the original rate-1/2 code word.
+func Depuncture(punctured []uint8, r Rate, pairs int) ([]uint8, error) {
+	if r == Rate12 {
+		if len(punctured) != 2*pairs {
+			return nil, fmt.Errorf("coding: depuncture length %d, want %d", len(punctured), 2*pairs)
+		}
+		out := make([]uint8, len(punctured))
+		copy(out, punctured)
+		return out, nil
+	}
+	pa, pb := r.pattern()
+	period := len(pa)
+	out := make([]uint8, 0, 2*pairs)
+	pos := 0
+	take := func() (uint8, error) {
+		if pos >= len(punctured) {
+			return 0, fmt.Errorf("coding: punctured stream too short")
+		}
+		v := punctured[pos]
+		pos++
+		return v, nil
+	}
+	for i := 0; i < pairs; i++ {
+		ph := i % period
+		if pa[ph] {
+			v, err := take()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		} else {
+			out = append(out, Erasure)
+		}
+		if pb[ph] {
+			v, err := take()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		} else {
+			out = append(out, Erasure)
+		}
+	}
+	if pos != len(punctured) {
+		return nil, fmt.Errorf("coding: punctured stream has %d extra bits", len(punctured)-pos)
+	}
+	return out, nil
+}
+
+// DepunctureLLRs re-inserts zero LLRs (no channel information) at the
+// punctured positions of a soft stream.
+func DepunctureLLRs(punctured []float64, r Rate, pairs int) ([]float64, error) {
+	if r == Rate12 {
+		if len(punctured) != 2*pairs {
+			return nil, fmt.Errorf("coding: depuncture LLR length %d, want %d", len(punctured), 2*pairs)
+		}
+		out := make([]float64, len(punctured))
+		copy(out, punctured)
+		return out, nil
+	}
+	pa, pb := r.pattern()
+	period := len(pa)
+	out := make([]float64, 0, 2*pairs)
+	pos := 0
+	take := func() (float64, error) {
+		if pos >= len(punctured) {
+			return 0, fmt.Errorf("coding: punctured LLR stream too short")
+		}
+		v := punctured[pos]
+		pos++
+		return v, nil
+	}
+	for i := 0; i < pairs; i++ {
+		ph := i % period
+		for _, keep := range []bool{pa[ph], pb[ph]} {
+			if keep {
+				v, err := take()
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, v)
+			} else {
+				out = append(out, 0)
+			}
+		}
+	}
+	if pos != len(punctured) {
+		return nil, fmt.Errorf("coding: punctured LLR stream has %d extra values", len(punctured)-pos)
+	}
+	return out, nil
+}
+
+// PuncturedLength returns the transmitted bit count for `pairs` rate-1/2
+// output pairs at rate r.
+func PuncturedLength(pairs int, r Rate) int {
+	pa, pb := r.pattern()
+	period := len(pa)
+	full := pairs / period
+	kept := 0
+	for i := 0; i < period; i++ {
+		if pa[i] {
+			kept++
+		}
+		if pb[i] {
+			kept++
+		}
+	}
+	n := full * kept
+	for i := 0; i < pairs%period; i++ {
+		if pa[i] {
+			n++
+		}
+		if pb[i] {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,161 @@
+// Package constellation implements square QAM constellations with Gray bit
+// mapping, unit average symbol energy, nearest-symbol slicing and the
+// FlexCore k-th-closest-symbol lookup of Husmann et al. (NSDI '17, §3.2):
+// a per-triangle predefined symbol ordering that finds the symbol with the
+// k-th smallest Euclidean distance to an observation without computing or
+// sorting all |Q| distances.
+package constellation
+
+import (
+	"fmt"
+	"math"
+)
+
+// Constellation is a square M-QAM constellation (M ∈ {4, 16, 64, 256,
+// 1024}) normalised to unit average symbol energy. Symbol indices are
+// grid coordinates iy·side + ix with ix, iy ∈ [0, side).
+type Constellation struct {
+	m      int     // constellation order |Q|
+	bits   int     // log2 m
+	side   int     // √m points per axis
+	scale  float64 // half the minimum inter-symbol distance
+	points []complex128
+	// Per-axis Gray maps between level index and bit pattern.
+	grayFwd []int // level index → gray code
+	grayInv []int // gray code → level index
+	lut     *orderLUT
+}
+
+// New returns the M-QAM constellation for m ∈ {4, 16, 64, 256, 1024}.
+func New(m int) (*Constellation, error) {
+	side := 0
+	switch m {
+	case 4, 16, 64, 256, 1024:
+		side = int(math.Round(math.Sqrt(float64(m))))
+	default:
+		return nil, fmt.Errorf("constellation: unsupported order %d (want 4, 16, 64, 256 or 1024)", m)
+	}
+	c := &Constellation{
+		m:     m,
+		bits:  bitsFor(m),
+		side:  side,
+		scale: math.Sqrt(3 / (2 * (float64(m) - 1))),
+	}
+	c.points = make([]complex128, m)
+	for iy := 0; iy < side; iy++ {
+		for ix := 0; ix < side; ix++ {
+			c.points[iy*side+ix] = complex(c.level(ix), c.level(iy))
+		}
+	}
+	c.grayFwd = make([]int, side)
+	c.grayInv = make([]int, side)
+	for i := 0; i < side; i++ {
+		g := i ^ (i >> 1)
+		c.grayFwd[i] = g
+		c.grayInv[g] = i
+	}
+	c.lut = buildOrderLUT(m, side)
+	return c, nil
+}
+
+// MustNew is New for known-valid orders; it panics otherwise.
+func MustNew(m int) *Constellation {
+	c, err := New(m)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func bitsFor(m int) int {
+	b := 0
+	for v := m; v > 1; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+// level maps an axis index (possibly outside [0, side)) to its PAM level.
+func (c *Constellation) level(i int) float64 {
+	return float64(2*i-c.side+1) * c.scale
+}
+
+// Size returns the constellation order |Q|.
+func (c *Constellation) Size() int { return c.m }
+
+// BitsPerSymbol returns log2 |Q|.
+func (c *Constellation) BitsPerSymbol() int { return c.bits }
+
+// Side returns the per-axis point count √|Q|.
+func (c *Constellation) Side() int { return c.side }
+
+// MinDist returns the minimum inter-symbol distance.
+func (c *Constellation) MinDist() float64 { return 2 * c.scale }
+
+// Scale returns half the minimum distance (the PAM level unit).
+func (c *Constellation) Scale() float64 { return c.scale }
+
+// Point returns the complex symbol value for index idx.
+func (c *Constellation) Point(idx int) complex128 { return c.points[idx] }
+
+// Points returns the full symbol alphabet (shared slice; do not modify).
+func (c *Constellation) Points() []complex128 { return c.points }
+
+// AvgEnergy returns the average symbol energy (1 by construction, computed
+// from the alphabet for verification).
+func (c *Constellation) AvgEnergy() float64 {
+	var s float64
+	for _, p := range c.points {
+		s += real(p)*real(p) + imag(p)*imag(p)
+	}
+	return s / float64(c.m)
+}
+
+// axisIndex slices one axis value to the nearest in-range level index.
+func (c *Constellation) axisIndex(v float64) int {
+	i := int(math.Round((v/c.scale + float64(c.side) - 1) / 2))
+	if i < 0 {
+		return 0
+	}
+	if i >= c.side {
+		return c.side - 1
+	}
+	return i
+}
+
+// Slice returns the index of the constellation point nearest to z.
+func (c *Constellation) Slice(z complex128) int {
+	return c.axisIndex(imag(z))*c.side + c.axisIndex(real(z))
+}
+
+// SymbolBits writes the Gray-mapped bits of symbol idx into dst
+// (length BitsPerSymbol, values 0/1) and returns dst.
+// The first half carries the in-phase (ix) axis, MSB first.
+func (c *Constellation) SymbolBits(idx int, dst []uint8) []uint8 {
+	if dst == nil {
+		dst = make([]uint8, c.bits)
+	}
+	half := c.bits / 2
+	gx := c.grayFwd[idx%c.side]
+	gy := c.grayFwd[idx/c.side]
+	for b := 0; b < half; b++ {
+		dst[b] = uint8(gx>>(half-1-b)) & 1
+		dst[half+b] = uint8(gy>>(half-1-b)) & 1
+	}
+	return dst
+}
+
+// SymbolFromBits maps BitsPerSymbol Gray-coded bits to a symbol index;
+// the inverse of SymbolBits.
+func (c *Constellation) SymbolFromBits(bits []uint8) int {
+	if len(bits) != c.bits {
+		panic(fmt.Sprintf("constellation: need %d bits, got %d", c.bits, len(bits)))
+	}
+	half := c.bits / 2
+	gx, gy := 0, 0
+	for b := 0; b < half; b++ {
+		gx = gx<<1 | int(bits[b]&1)
+		gy = gy<<1 | int(bits[half+b]&1)
+	}
+	return c.grayInv[gy]*c.side + c.grayInv[gx]
+}

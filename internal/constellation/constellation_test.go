@@ -1,0 +1,123 @@
+package constellation
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+var orders = []int{4, 16, 64, 256, 1024}
+
+func newRng(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, seed*2654435761)) }
+
+func TestNewRejectsBadOrders(t *testing.T) {
+	for _, m := range []int{0, 2, 8, 32, 128, 512, 2048, -4} {
+		if _, err := New(m); err == nil {
+			t.Fatalf("order %d accepted", m)
+		}
+	}
+}
+
+func TestUnitAverageEnergy(t *testing.T) {
+	for _, m := range orders {
+		c := MustNew(m)
+		if e := c.AvgEnergy(); math.Abs(e-1) > 1e-12 {
+			t.Fatalf("%d-QAM energy %v != 1", m, e)
+		}
+	}
+}
+
+func TestMinDistance(t *testing.T) {
+	for _, m := range orders {
+		c := MustNew(m)
+		// Exhaustive pairwise minimum must equal MinDist.
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			for j := i + 1; j < m; j++ {
+				d := c.Point(i) - c.Point(j)
+				if v := math.Hypot(real(d), imag(d)); v < best {
+					best = v
+				}
+			}
+		}
+		if math.Abs(best-c.MinDist()) > 1e-12 {
+			t.Fatalf("%d-QAM min distance %v != %v", m, best, c.MinDist())
+		}
+	}
+}
+
+func TestSliceIsNearest(t *testing.T) {
+	rng := newRng(41)
+	for _, m := range orders {
+		c := MustNew(m)
+		for trial := 0; trial < 500; trial++ {
+			z := complex(rng.NormFloat64(), rng.NormFloat64())
+			got := c.Slice(z)
+			want := c.ExactKth(z, 1)
+			dg := z - c.Point(got)
+			dw := z - c.Point(want)
+			// Allow exact ties only.
+			if real(dg)*real(dg)+imag(dg)*imag(dg) > real(dw)*real(dw)+imag(dw)*imag(dw)+1e-12 {
+				t.Fatalf("%d-QAM: Slice(%v) = %d not nearest (want %d)", m, z, got, want)
+			}
+		}
+	}
+}
+
+func TestGrayBitsRoundTrip(t *testing.T) {
+	for _, m := range orders {
+		c := MustNew(m)
+		for idx := 0; idx < m; idx++ {
+			bits := c.SymbolBits(idx, nil)
+			if len(bits) != c.BitsPerSymbol() {
+				t.Fatalf("%d-QAM: bits length %d", m, len(bits))
+			}
+			if back := c.SymbolFromBits(bits); back != idx {
+				t.Fatalf("%d-QAM: round trip %d → %v → %d", m, idx, bits, back)
+			}
+		}
+	}
+}
+
+func TestGrayAdjacencySingleBitFlips(t *testing.T) {
+	// Horizontally or vertically adjacent symbols must differ in exactly
+	// one bit — the defining property of the Gray mapping.
+	for _, m := range orders {
+		c := MustNew(m)
+		side := c.Side()
+		diff := func(a, b int) int {
+			ba := c.SymbolBits(a, nil)
+			bb := c.SymbolBits(b, nil)
+			n := 0
+			for i := range ba {
+				if ba[i] != bb[i] {
+					n++
+				}
+			}
+			return n
+		}
+		for iy := 0; iy < side; iy++ {
+			for ix := 0; ix < side; ix++ {
+				idx := iy*side + ix
+				if ix+1 < side && diff(idx, idx+1) != 1 {
+					t.Fatalf("%d-QAM: horizontal neighbours %d,%d differ in %d bits", m, idx, idx+1, diff(idx, idx+1))
+				}
+				if iy+1 < side && diff(idx, idx+side) != 1 {
+					t.Fatalf("%d-QAM: vertical neighbours differ in %d bits", m, diff(idx, idx+side))
+				}
+			}
+		}
+	}
+}
+
+func TestBitsQuickProperty(t *testing.T) {
+	c := MustNew(64)
+	f := func(raw uint8) bool {
+		idx := int(raw) % 64
+		return c.SymbolFromBits(c.SymbolBits(idx, nil)) == idx
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,191 @@
+package constellation
+
+import (
+	"math"
+	"sort"
+)
+
+// orderLUT holds the predefined k-th-closest symbol ordering of FlexCore's
+// detection step (paper §3.2, Fig. 6).
+//
+// The effective received point is referred to the minimum-distance square
+// of the *midpoint grid* that contains it: the square's centre is a
+// midpoint of the constellation lattice and its four corners are
+// constellation points (the paper's slicer "computes the midpoint value
+// and index instead of the actual constellation point", §4). The square
+// is split into eight triangles by its axes and diagonals; for points in
+// a given triangle the distance-sorted order of the surrounding lattice
+// points is (almost always) the same, so one ordering per triangle
+// suffices — and by the dihedral symmetry of the lattice only the
+// canonical triangle t1 (dx ≥ dy ≥ 0) is stored; the other seven are
+// sign/swap transforms of it.
+//
+// Offsets from the square centre to constellation points are pairs of
+// odd integers in half-minimum-distance units. The stored ordering ranks
+// them by the expected squared distance to a point uniform in t1, which
+// has the closed form E[d²] = (1/2 − (4/3)a + a²) + (1/6 − (2/3)b + b²).
+// This is the analytic limit of the paper's Monte-Carlo "most frequent
+// sorted order" procedure. Its first four entries are the square's four
+// corners, so the first candidate ranks deactivate only when the
+// effective point falls outside the constellation hull.
+type orderLUT struct {
+	offsets [][2]int // canonical-frame odd-integer offsets, best first
+}
+
+func buildOrderLUT(m, side int) *orderLUT {
+	type cand struct {
+		a, b int
+		ed   float64
+	}
+	// A window of odd offsets covering the whole constellation from any
+	// midpoint adjacent to it.
+	lim := 2*side + 1
+	var cands []cand
+	for a := -lim; a <= lim; a += 2 {
+		for b := -lim; b <= lim; b += 2 {
+			fa, fb := float64(a), float64(b)
+			ed := (0.5 - (4.0/3.0)*fa + fa*fa) + (1.0/6.0 - (2.0/3.0)*fb + fb*fb)
+			cands = append(cands, cand{a, b, ed})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].ed != cands[j].ed {
+			return cands[i].ed < cands[j].ed
+		}
+		// Deterministic tie-break.
+		if cands[i].a != cands[j].a {
+			return cands[i].a > cands[j].a
+		}
+		return cands[i].b > cands[j].b
+	})
+	lut := &orderLUT{offsets: make([][2]int, m)}
+	for k := 0; k < m; k++ {
+		lut.offsets[k] = [2]int{cands[k].a, cands[k].b}
+	}
+	return lut
+}
+
+// KthClosest returns the index of the constellation point with
+// (approximately) the k-th smallest Euclidean distance to z, k ≥ 1, using
+// the predefined per-triangle ordering. ok is false when the ordering
+// points outside the constellation — the "deactivated processing element"
+// case of the paper — or when k exceeds the stored table.
+func (c *Constellation) KthClosest(z complex128, k int) (idx int, ok bool) {
+	if k < 1 || k > len(c.lut.offsets) {
+		return 0, false
+	}
+	// Nearest midpoint-grid node (values are even integers cx = 2m − side
+	// in half-distance units; symbols sit at odd integers).
+	mx := int(math.Round((real(z)/c.scale + float64(c.side)) / 2))
+	my := int(math.Round((imag(z)/c.scale + float64(c.side)) / 2))
+	cx := 2*mx - c.side
+	cy := 2*my - c.side
+	// Position relative to the square centre, in half-distance units.
+	dx := real(z)/c.scale - float64(cx)
+	dy := imag(z)/c.scale - float64(cy)
+
+	// Canonicalise into t1: record sign flips and the axis swap.
+	sx, sy := 1, 1
+	if dx < 0 {
+		sx = -1
+		dx = -dx
+	}
+	if dy < 0 {
+		sy = -1
+		dy = -dy
+	}
+	swap := dy > dx
+
+	off := c.lut.offsets[k-1]
+	oa, ob := off[0], off[1]
+	if swap {
+		oa, ob = ob, oa
+	}
+	// Symbol value in half-distance units: centre + signed odd offset.
+	vx := cx + sx*oa
+	vy := cy + sy*ob
+	// Axis index of a symbol at value v = 2i − side + 1 → i = (v+side−1)/2.
+	nx := (vx + c.side - 1) / 2
+	ny := (vy + c.side - 1) / 2
+	if nx < 0 || nx >= c.side || ny < 0 || ny >= c.side {
+		return 0, false
+	}
+	return ny*c.side + nx, true
+}
+
+// ExactKth returns the true k-th closest constellation point to z (k ≥ 1)
+// by exhaustive search; used to validate the LUT approximation and by
+// reference detectors.
+func (c *Constellation) ExactKth(z complex128, k int) int {
+	type ds struct {
+		idx int
+		d   float64
+	}
+	all := make([]ds, c.m)
+	for i, p := range c.points {
+		dr := real(z) - real(p)
+		di := imag(z) - imag(p)
+		all[i] = ds{i, dr*dr + di*di}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].d != all[j].d {
+			return all[i].d < all[j].d
+		}
+		return all[i].idx < all[j].idx
+	})
+	return all[k-1].idx
+}
+
+// KthClosestClamped is KthClosest with per-axis slicer saturation: when
+// the predefined ordering points outside the constellation, each axis
+// index clamps to the nearest edge instead of deactivating the path —
+// the behaviour of a saturating hardware slicer. The boolean reports
+// whether clamping occurred.
+func (c *Constellation) KthClosestClamped(z complex128, k int) (idx int, clamped bool) {
+	if idx, ok := c.KthClosest(z, k); ok {
+		return idx, false
+	}
+	// Recompute the raw candidate and saturate.
+	if k < 1 {
+		k = 1
+	}
+	if k > len(c.lut.offsets) {
+		k = len(c.lut.offsets)
+	}
+	mx := int(math.Round((real(z)/c.scale + float64(c.side)) / 2))
+	my := int(math.Round((imag(z)/c.scale + float64(c.side)) / 2))
+	cx := 2*mx - c.side
+	cy := 2*my - c.side
+	dx := real(z)/c.scale - float64(cx)
+	dy := imag(z)/c.scale - float64(cy)
+	sx, sy := 1, 1
+	if dx < 0 {
+		sx = -1
+		dx = -dx
+	}
+	if dy < 0 {
+		sy = -1
+		dy = -dy
+	}
+	swap := dy > dx
+	off := c.lut.offsets[k-1]
+	oa, ob := off[0], off[1]
+	if swap {
+		oa, ob = ob, oa
+	}
+	nx := (cx + sx*oa + c.side - 1) / 2
+	ny := (cy + sy*ob + c.side - 1) / 2
+	nx = clampAxis(nx, c.side)
+	ny = clampAxis(ny, c.side)
+	return ny*c.side + nx, true
+}
+
+func clampAxis(i, side int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= side {
+		return side - 1
+	}
+	return i
+}

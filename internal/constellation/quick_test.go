@@ -1,0 +1,69 @@
+package constellation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickKthClosestContracts drives the ordering LUT with arbitrary
+// observations and ranks, checking its contracts hold everywhere:
+// returned indices are valid, k=1 equals the exact nearest symbol when
+// active, and the clamped variant always returns a valid index that
+// agrees with the plain variant whenever the plain variant is active.
+func TestQuickKthClosestContracts(t *testing.T) {
+	for _, m := range []int{4, 16, 64} {
+		c := MustNew(m)
+		f := func(re, im float64, rawK uint16) bool {
+			// Map arbitrary floats into a generous but finite region.
+			z := complex(math.Mod(re, 10), math.Mod(im, 10))
+			if math.IsNaN(real(z)) || math.IsNaN(imag(z)) {
+				return true
+			}
+			k := int(rawK)%c.Size() + 1
+			idx, ok := c.KthClosest(z, k)
+			if ok && (idx < 0 || idx >= c.Size()) {
+				return false
+			}
+			if k == 1 && ok {
+				// k=1 must be a nearest symbol (distance ties allowed).
+				want := c.ExactKth(z, 1)
+				dg := z - c.Point(idx)
+				dw := z - c.Point(want)
+				if real(dg)*real(dg)+imag(dg)*imag(dg) > real(dw)*real(dw)+imag(dw)*imag(dw)+1e-12 {
+					return false
+				}
+			}
+			cIdx, _ := c.KthClosestClamped(z, k)
+			if cIdx < 0 || cIdx >= c.Size() {
+				return false
+			}
+			if ok && cIdx != idx {
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Fatalf("%d-QAM: %v", m, err)
+		}
+	}
+}
+
+// TestQuickSliceGrayRoundTrip checks the slicer and bit maps compose for
+// arbitrary observations.
+func TestQuickSliceGrayRoundTrip(t *testing.T) {
+	c := MustNew(256)
+	f := func(re, im float64) bool {
+		if math.IsNaN(re) || math.IsNaN(im) || math.IsInf(re, 0) || math.IsInf(im, 0) {
+			return true
+		}
+		idx := c.Slice(complex(re, im))
+		if idx < 0 || idx >= 256 {
+			return false
+		}
+		return c.SymbolFromBits(c.SymbolBits(idx, nil)) == idx
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"flexcore/internal/channel"
+	"flexcore/internal/cmatrix"
+	"flexcore/internal/constellation"
+)
+
+func TestFindPathsParallelBatchOneMatchesSequential(t *testing.T) {
+	m := testModel(t, 64, []float64{0.5, 1.0, 1.5, 0.8, 1.2, 0.9}, 18)
+	seq, _ := FindPaths(m, 128, 0)
+	par, _, rounds := FindPathsParallel(m, 128, 1)
+	if rounds != 128 {
+		t.Fatalf("batch-1 rounds %d, want 128", rounds)
+	}
+	if len(par) != len(seq) {
+		t.Fatalf("path counts differ: %d vs %d", len(par), len(seq))
+	}
+	for i := range seq {
+		if key(seq[i].Ranks) != key(par[i].Ranks) {
+			t.Fatalf("batch-1 diverges from sequential at %d", i)
+		}
+	}
+}
+
+func TestFindPathsParallelCoverage(t *testing.T) {
+	// The paper's claim (§3.1.1): parallel expansion loses negligible
+	// *throughput* when N_PE / batch ≥ 10. In the selection model,
+	// throughput is driven by the cumulative probability Σ Pc of the
+	// selected set, so the batched set must cover ≥ 97 % of the
+	// sequential set's probability mass (the divergent picks are the
+	// borderline, lowest-probability paths).
+	rng := newRng(411)
+	cons := constellation.MustNew(64)
+	sigma2 := channel.Sigma2FromSNRdB(18, 1)
+	const nPE = 128
+	for trial := 0; trial < 10; trial++ {
+		h := channel.Rayleigh(rng, 12, 12)
+		qr := cmatrix.SortedQR(h, cmatrix.OrderSQRD)
+		m := NewModel(qr.R, sigma2, cons)
+		seq, seqStats := FindPaths(m, nPE, 0)
+		par, parStats, rounds := FindPathsParallel(m, nPE, nPE/10)
+		if rounds >= nPE {
+			t.Fatalf("batching did not reduce rounds: %d", rounds)
+		}
+		if len(par) != len(seq) {
+			t.Fatalf("path counts differ: %d vs %d", len(par), len(seq))
+		}
+		if parStats.CumulativeProb < 0.97*seqStats.CumulativeProb {
+			t.Fatalf("trial %d: batched coverage %.4f below sequential %.4f",
+				trial, parStats.CumulativeProb, seqStats.CumulativeProb)
+		}
+	}
+}
+
+func TestFindPathsParallelLatencyReduction(t *testing.T) {
+	m := testModel(t, 64, []float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1}, 20)
+	_, _, r1 := FindPathsParallel(m, 256, 1)
+	_, _, r16 := FindPathsParallel(m, 256, 16)
+	if r16*10 > r1 {
+		t.Fatalf("batch-16 rounds %d not ≈16× below batch-1 %d", r16, r1)
+	}
+}
+
+func TestFindPathsParallelRespectsNPE(t *testing.T) {
+	m := testModel(t, 4, []float64{1, 1}, 8)
+	paths, _, _ := FindPathsParallel(m, 1000, 8)
+	if len(paths) != 16 {
+		t.Fatalf("%d paths, want all 16", len(paths))
+	}
+	seen := map[string]bool{}
+	for _, p := range paths {
+		k := key(p.Ranks)
+		if seen[k] {
+			t.Fatalf("duplicate %v", p.Ranks)
+		}
+		seen[k] = true
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"flexcore/internal/constellation"
+)
+
+// TestQuickFindPathsInvariants drives the pre-processing search with
+// arbitrary per-level gains and noise levels: the output must always be
+// unique position vectors in descending probability starting at the
+// all-ones vector, with ranks within [1, |Q|].
+func TestQuickFindPathsInvariants(t *testing.T) {
+	cons := constellation.MustNew(16)
+	f := func(g1, g2, g3, g4 float64, rawSNR uint8, rawNPE uint8) bool {
+		gains := []float64{g1, g2, g3, g4}
+		for i, g := range gains {
+			g = math.Abs(math.Mod(g, 4))
+			if g < 1e-3 || math.IsNaN(g) {
+				g = 1e-3
+			}
+			gains[i] = g
+		}
+		snr := float64(rawSNR%30) + 1
+		npe := int(rawNPE)%200 + 1
+		m := NewModel(diagMatrix(gains), math.Pow(10, -snr/10), cons)
+		paths, stats := FindPaths(m, npe, 0)
+		if len(paths) == 0 || len(paths) > npe {
+			return false
+		}
+		for i, r := range paths[0].Ranks {
+			if r != 1 {
+				t.Logf("first path rank[%d]=%d", i, r)
+				return false
+			}
+		}
+		seen := map[string]bool{}
+		prev := math.Inf(1)
+		for _, p := range paths {
+			if p.LogP > prev+1e-9 {
+				return false
+			}
+			prev = p.LogP
+			k := key(p.Ranks)
+			if seen[k] {
+				return false
+			}
+			seen[k] = true
+			for _, r := range p.Ranks {
+				if r < 1 || r > cons.Size() {
+					return false
+				}
+			}
+		}
+		// Paper complexity bound: ≤ N_PE·Nt multiplications + root.
+		return stats.RealMuls <= int64(npe*len(gains))+int64(len(gains))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickModelProbabilities checks the per-level model stays a valid
+// probability distribution under arbitrary gains and noise.
+func TestQuickModelProbabilities(t *testing.T) {
+	cons := constellation.MustNew(64)
+	f := func(g float64, rawSNR int16) bool {
+		g = math.Abs(math.Mod(g, 8))
+		if math.IsNaN(g) {
+			g = 1
+		}
+		sigma2 := math.Pow(10, -float64(rawSNR%40)/10)
+		m := NewModel(diagMatrix([]float64{g}), sigma2, cons)
+		if m.Pe[0] <= 0 || m.Pe[0] >= 1 {
+			return false
+		}
+		var sum float64
+		for k := 1; k <= cons.Size(); k++ {
+			p := m.LevelProb(0, k)
+			if p < 0 || p > 1 {
+				return false
+			}
+			sum += p
+		}
+		return sum <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

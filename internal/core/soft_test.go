@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"flexcore/internal/channel"
+	"flexcore/internal/constellation"
+)
+
+func TestDetectSoftAgreesWithHardDecision(t *testing.T) {
+	rng := newRng(401)
+	cons := constellation.MustNew(16)
+	fc := New(cons, Options{NPE: 32})
+	sigma2 := channel.Sigma2FromSNRdB(14, 1)
+	for trial := 0; trial < 30; trial++ {
+		h := channel.Rayleigh(rng, 6, 6)
+		if err := fc.Prepare(h, sigma2); err != nil {
+			t.Fatal(err)
+		}
+		s := randSymbols(rng, cons, 6)
+		y := transmit(rng, h, cons, s, sigma2)
+		hard := fc.Detect(y)
+		soft, llrs := fc.DetectSoft(y, sigma2)
+		if !equalInts(hard, soft) {
+			t.Fatalf("trial %d: hard %v vs soft-best %v", trial, hard, soft)
+		}
+		if len(llrs) != 6 {
+			t.Fatalf("llrs for %d streams", len(llrs))
+		}
+		// The LLR signs must match the best symbol's bits.
+		bits := make([]uint8, cons.BitsPerSymbol())
+		for u := range llrs {
+			cons.SymbolBits(soft[u], bits)
+			for b, l := range llrs[u] {
+				if bits[b] == 0 && l < 0 {
+					t.Fatalf("stream %d bit %d: best says 0, LLR %v", u, b, l)
+				}
+				if bits[b] == 1 && l > 0 {
+					t.Fatalf("stream %d bit %d: best says 1, LLR %v", u, b, l)
+				}
+			}
+		}
+	}
+}
+
+func TestDetectSoftLLRMagnitudes(t *testing.T) {
+	// At very high SNR the LLRs must be confidently large (most clamp);
+	// at low SNR many must be small.
+	rng := newRng(402)
+	cons := constellation.MustNew(16)
+	fc := New(cons, Options{NPE: 64})
+
+	avgAbs := func(snr float64) float64 {
+		sigma2 := channel.Sigma2FromSNRdB(snr, 1)
+		var sum float64
+		var n int
+		for trial := 0; trial < 20; trial++ {
+			h := channel.Rayleigh(rng, 4, 4)
+			if err := fc.Prepare(h, sigma2); err != nil {
+				t.Fatal(err)
+			}
+			s := randSymbols(rng, cons, 4)
+			y := transmit(rng, h, cons, s, sigma2)
+			_, llrs := fc.DetectSoft(y, sigma2)
+			for _, row := range llrs {
+				for _, l := range row {
+					sum += math.Abs(l)
+					n++
+				}
+			}
+		}
+		return sum / float64(n)
+	}
+	high := avgAbs(30)
+	low := avgAbs(5)
+	if high <= low {
+		t.Fatalf("LLR magnitude not increasing with SNR: %v vs %v", high, low)
+	}
+	if high < maxLLR/2 {
+		t.Fatalf("high-SNR LLRs suspiciously small: %v", high)
+	}
+}
+
+func TestDetectSoftClamping(t *testing.T) {
+	rng := newRng(403)
+	cons := constellation.MustNew(16)
+	fc := New(cons, Options{NPE: 4}) // tiny list → many one-sided bits
+	sigma2 := channel.Sigma2FromSNRdB(12, 1)
+	h := channel.Rayleigh(rng, 4, 4)
+	if err := fc.Prepare(h, sigma2); err != nil {
+		t.Fatal(err)
+	}
+	s := randSymbols(rng, cons, 4)
+	y := transmit(rng, h, cons, s, sigma2)
+	_, llrs := fc.DetectSoft(y, sigma2)
+	for _, row := range llrs {
+		for _, l := range row {
+			if math.Abs(l) > maxLLR+1e-12 {
+				t.Fatalf("LLR %v beyond clamp", l)
+			}
+			if math.IsNaN(l) || math.IsInf(l, 0) {
+				t.Fatalf("non-finite LLR %v", l)
+			}
+		}
+	}
+}

@@ -1,0 +1,458 @@
+package detector
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"flexcore/internal/channel"
+	"flexcore/internal/cmatrix"
+	"flexcore/internal/constellation"
+)
+
+func newRng(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, seed*0x9e37)) }
+
+// randSymbols draws nt random symbol indices.
+func randSymbols(rng *rand.Rand, cons *constellation.Constellation, nt int) []int {
+	s := make([]int, nt)
+	for i := range s {
+		s[i] = rng.IntN(cons.Size())
+	}
+	return s
+}
+
+// transmit builds y = H·s + n for symbol indices s.
+func transmit(rng *rand.Rand, h *cmatrix.Matrix, cons *constellation.Constellation, s []int, sigma2 float64) []complex128 {
+	x := make([]complex128, len(s))
+	for i, k := range s {
+		x[i] = cons.Point(k)
+	}
+	y := h.MulVec(x)
+	if sigma2 > 0 {
+		channel.AddAWGN(rng, y, sigma2)
+	}
+	return y
+}
+
+// exhaustiveML brute-forces argmin ||y − H·s||².
+func exhaustiveML(h *cmatrix.Matrix, cons *constellation.Constellation, y []complex128) []int {
+	nt := h.Cols
+	m := cons.Size()
+	total := 1
+	for i := 0; i < nt; i++ {
+		total *= m
+	}
+	best := make([]int, nt)
+	bestD := math.Inf(1)
+	idx := make([]int, nt)
+	x := make([]complex128, nt)
+	for c := 0; c < total; c++ {
+		v := c
+		for i := 0; i < nt; i++ {
+			idx[i] = v % m
+			x[i] = cons.Point(idx[i])
+			v /= m
+		}
+		d := cmatrix.Norm2(cmatrix.SubVec(y, h.MulVec(x)))
+		if d < bestD {
+			bestD = d
+			copy(best, idx)
+		}
+	}
+	return best
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// allDetectors builds one of each detector for the constellation.
+func allDetectors(cons *constellation.Constellation) []Detector {
+	return []Detector{
+		NewZF(cons),
+		NewMMSE(cons),
+		NewSIC(cons),
+		NewSphere(cons),
+		NewFCSD(cons, 1),
+		NewKBest(cons, 8),
+		NewTrellis(cons),
+	}
+}
+
+func TestAllDetectorsNoiselessIdentityChannel(t *testing.T) {
+	rng := newRng(101)
+	for _, m := range []int{4, 16, 64} {
+		cons := constellation.MustNew(m)
+		h := cmatrix.Identity(4)
+		for _, det := range allDetectors(cons) {
+			if err := det.Prepare(h, 1e-4); err != nil {
+				t.Fatalf("%s: %v", det.Name(), err)
+			}
+			for trial := 0; trial < 20; trial++ {
+				s := randSymbols(rng, cons, 4)
+				y := transmit(rng, h, cons, s, 0)
+				if got := det.Detect(y); !equalInts(got, s) {
+					t.Fatalf("%s on %d-QAM: got %v want %v", det.Name(), m, got, s)
+				}
+			}
+		}
+	}
+}
+
+func TestNonlinearDetectorsNoiselessRandomChannel(t *testing.T) {
+	rng := newRng(102)
+	cons := constellation.MustNew(16)
+	for trial := 0; trial < 10; trial++ {
+		h := channel.Rayleigh(rng, 6, 6)
+		for _, det := range []Detector{NewSphere(cons), NewFCSD(cons, 2), NewKBest(cons, 16)} {
+			if err := det.Prepare(h, 1e-6); err != nil {
+				t.Fatal(err)
+			}
+			s := randSymbols(rng, cons, 6)
+			y := transmit(rng, h, cons, s, 0)
+			if got := det.Detect(y); !equalInts(got, s) {
+				t.Fatalf("%s: noiseless recovery failed: got %v want %v", det.Name(), got, s)
+			}
+		}
+	}
+}
+
+func TestSphereIsExactML(t *testing.T) {
+	rng := newRng(103)
+	cons := constellation.MustNew(4)
+	for trial := 0; trial < 200; trial++ {
+		h := channel.Rayleigh(rng, 3, 3)
+		sph := NewSphere(cons)
+		if err := sph.Prepare(h, 0.5); err != nil {
+			t.Fatal(err)
+		}
+		s := randSymbols(rng, cons, 3)
+		y := transmit(rng, h, cons, s, 0.5) // heavy noise: hard instances
+		got := sph.Detect(y)
+		want := exhaustiveML(h, cons, y)
+		// ML solutions must have identical metric (allow metric ties).
+		toVec := func(idx []int) []complex128 {
+			x := make([]complex128, len(idx))
+			for i, k := range idx {
+				x[i] = cons.Point(k)
+			}
+			return x
+		}
+		dg := cmatrix.Norm2(cmatrix.SubVec(y, h.MulVec(toVec(got))))
+		dw := cmatrix.Norm2(cmatrix.SubVec(y, h.MulVec(toVec(want))))
+		if dg > dw+1e-9 {
+			t.Fatalf("trial %d: sphere metric %v worse than exhaustive %v", trial, dg, dw)
+		}
+	}
+}
+
+func TestFCSDFullExpansionIsML(t *testing.T) {
+	rng := newRng(104)
+	cons := constellation.MustNew(4)
+	for trial := 0; trial < 50; trial++ {
+		h := channel.Rayleigh(rng, 3, 3)
+		f := NewFCSD(cons, 3) // |Q|^Nt paths = exhaustive
+		if err := f.Prepare(h, 0.3); err != nil {
+			t.Fatal(err)
+		}
+		s := randSymbols(rng, cons, 3)
+		y := transmit(rng, h, cons, s, 0.3)
+		got := f.Detect(y)
+		want := exhaustiveML(h, cons, y)
+		if !equalInts(got, want) {
+			// Allow metric ties.
+			toVec := func(idx []int) []complex128 {
+				x := make([]complex128, len(idx))
+				for i, k := range idx {
+					x[i] = cons.Point(k)
+				}
+				return x
+			}
+			dg := cmatrix.Norm2(cmatrix.SubVec(y, h.MulVec(toVec(got))))
+			dw := cmatrix.Norm2(cmatrix.SubVec(y, h.MulVec(toVec(want))))
+			if math.Abs(dg-dw) > 1e-9 {
+				t.Fatalf("trial %d: FCSD full expansion not ML: %v vs %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestFCSDNumPaths(t *testing.T) {
+	cons := constellation.MustNew(16)
+	if NewFCSD(cons, 1).NumPaths() != 16 {
+		t.Fatal("L=1 paths")
+	}
+	if NewFCSD(cons, 2).NumPaths() != 256 {
+		t.Fatal("L=2 paths")
+	}
+	f := NewFCSD(cons, 5)
+	if err := f.Prepare(cmatrix.Identity(4), 0.1); err == nil {
+		t.Fatal("L > Nt accepted")
+	}
+}
+
+func TestKBestLargeKIsML(t *testing.T) {
+	rng := newRng(105)
+	cons := constellation.MustNew(4)
+	for trial := 0; trial < 50; trial++ {
+		h := channel.Rayleigh(rng, 3, 3)
+		kb := NewKBest(cons, 64) // ≥ |Q|^Nt
+		if err := kb.Prepare(h, 0.3); err != nil {
+			t.Fatal(err)
+		}
+		s := randSymbols(rng, cons, 3)
+		y := transmit(rng, h, cons, s, 0.3)
+		got := kb.Detect(y)
+		want := exhaustiveML(h, cons, y)
+		toVec := func(idx []int) []complex128 {
+			x := make([]complex128, len(idx))
+			for i, k := range idx {
+				x[i] = cons.Point(k)
+			}
+			return x
+		}
+		dg := cmatrix.Norm2(cmatrix.SubVec(y, h.MulVec(toVec(got))))
+		dw := cmatrix.Norm2(cmatrix.SubVec(y, h.MulVec(toVec(want))))
+		if dg > dw+1e-9 {
+			t.Fatalf("trial %d: K-best(64) worse than ML", trial)
+		}
+	}
+}
+
+// symbolErrorRate measures SER for a detector over random channels.
+func symbolErrorRate(t *testing.T, det Detector, cons *constellation.Constellation, nt int, snrdB float64, trials int, seed uint64) float64 {
+	t.Helper()
+	rng := newRng(seed)
+	sigma2 := channel.Sigma2FromSNRdB(snrdB, 1)
+	errs, total := 0, 0
+	for i := 0; i < trials; i++ {
+		h := channel.Rayleigh(rng, nt, nt)
+		if err := det.Prepare(h, sigma2); err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < 4; v++ {
+			s := randSymbols(rng, cons, nt)
+			y := transmit(rng, h, cons, s, sigma2)
+			got := det.Detect(y)
+			for j := range s {
+				if got[j] != s[j] {
+					errs++
+				}
+				total++
+			}
+		}
+	}
+	return float64(errs) / float64(total)
+}
+
+func TestDetectorHierarchySER(t *testing.T) {
+	// At a moderate SNR on square channels the paper's ordering must
+	// hold: ML ≤ FCSD(1) and every sphere-family detector beats MMSE by a
+	// clear margin. Seeds are fixed so the test is deterministic.
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	cons := constellation.MustNew(16)
+	const nt, snr, trials, seed = 4, 14, 400, 106
+	serML := symbolErrorRate(t, NewSphere(cons), cons, nt, snr, trials, seed)
+	serFCSD := symbolErrorRate(t, NewFCSD(cons, 1), cons, nt, snr, trials, seed)
+	serTrellis := symbolErrorRate(t, NewTrellis(cons), cons, nt, snr, trials, seed)
+	serSIC := symbolErrorRate(t, NewSIC(cons), cons, nt, snr, trials, seed)
+	serMMSE := symbolErrorRate(t, NewMMSE(cons), cons, nt, snr, trials, seed)
+	t.Logf("SER: ML=%.4f FCSD=%.4f Trellis=%.4f SIC=%.4f MMSE=%.4f", serML, serFCSD, serTrellis, serSIC, serMMSE)
+	if serML > serFCSD*1.05+1e-4 {
+		t.Fatalf("ML (%.4f) worse than FCSD (%.4f)", serML, serFCSD)
+	}
+	if serFCSD > serMMSE {
+		t.Fatalf("FCSD (%.4f) worse than MMSE (%.4f)", serFCSD, serMMSE)
+	}
+	if serML > 0.5*serMMSE {
+		t.Fatalf("ML (%.4f) not clearly better than MMSE (%.4f)", serML, serMMSE)
+	}
+	if serTrellis > serMMSE {
+		t.Fatalf("Trellis (%.4f) worse than MMSE (%.4f)", serTrellis, serMMSE)
+	}
+}
+
+func TestOpCountersAdvance(t *testing.T) {
+	rng := newRng(107)
+	cons := constellation.MustNew(16)
+	h := channel.Rayleigh(rng, 4, 4)
+	for _, det := range allDetectors(cons) {
+		if err := det.Prepare(h, 0.1); err != nil {
+			t.Fatal(err)
+		}
+		before := det.OpCount()
+		s := randSymbols(rng, cons, 4)
+		det.Detect(transmit(rng, h, cons, s, 0.1))
+		after := det.OpCount()
+		if after.Detections != before.Detections+1 {
+			t.Fatalf("%s: detections not counted", det.Name())
+		}
+		if after.RealMuls <= before.RealMuls {
+			t.Fatalf("%s: multiplications not counted", det.Name())
+		}
+		if after.Prepares != 1 {
+			t.Fatalf("%s: prepares not counted", det.Name())
+		}
+	}
+}
+
+func TestOpCountAddAndPerDetection(t *testing.T) {
+	a := OpCount{RealMuls: 10, FLOPs: 20, Nodes: 2, Detections: 2, Prepares: 1}
+	b := OpCount{RealMuls: 6, FLOPs: 4, Nodes: 1, Detections: 1}
+	a.Add(b)
+	if a.RealMuls != 16 || a.Detections != 3 {
+		t.Fatal("Add wrong")
+	}
+	pd := a.PerDetection()
+	if pd.RealMuls != 16/3 || pd.Detections != 1 {
+		t.Fatal("PerDetection wrong")
+	}
+	if (OpCount{}).PerDetection() != (OpCount{}) {
+		t.Fatal("empty PerDetection")
+	}
+}
+
+func TestSphereMaxNodesCapStillReturns(t *testing.T) {
+	rng := newRng(108)
+	cons := constellation.MustNew(64)
+	h := channel.Rayleigh(rng, 8, 8)
+	sph := NewSphere(cons)
+	sph.MaxNodes = 16
+	if err := sph.Prepare(h, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	s := randSymbols(rng, cons, 8)
+	y := transmit(rng, h, cons, s, 1.0)
+	got := sph.Detect(y)
+	if len(got) != 8 {
+		t.Fatal("capped sphere returned no solution")
+	}
+	for _, k := range got {
+		if k < 0 || k >= 64 {
+			t.Fatalf("invalid symbol index %d", k)
+		}
+	}
+}
+
+func TestDetectorsReusableAcrossChannels(t *testing.T) {
+	// Prepare/Detect must be callable repeatedly, including shrinking the
+	// system size (scratch-buffer reuse).
+	rng := newRng(109)
+	cons := constellation.MustNew(16)
+	for _, det := range allDetectors(cons) {
+		for _, nt := range []int{8, 4, 6} {
+			h := channel.Rayleigh(rng, nt, nt)
+			if err := det.Prepare(h, 1e-6); err != nil {
+				t.Fatalf("%s nt=%d: %v", det.Name(), nt, err)
+			}
+			s := randSymbols(rng, cons, nt)
+			y := transmit(rng, h, cons, s, 0)
+			got := det.Detect(y)
+			if len(got) != nt {
+				t.Fatalf("%s nt=%d: wrong output size", det.Name(), nt)
+			}
+		}
+	}
+}
+
+func TestLinearZFEqualsMMSEAtHighSNR(t *testing.T) {
+	rng := newRng(110)
+	cons := constellation.MustNew(16)
+	h := channel.Rayleigh(rng, 6, 6)
+	zf := NewZF(cons)
+	mm := NewMMSE(cons)
+	if err := zf.Prepare(h, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	if err := mm.Prepare(h, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		s := randSymbols(rng, cons, 6)
+		y := transmit(rng, h, cons, s, 1e-9)
+		if !equalInts(zf.Detect(y), mm.Detect(y)) {
+			t.Fatal("ZF and MMSE disagree at negligible noise")
+		}
+	}
+}
+
+func BenchmarkSphere8x8_64QAM(b *testing.B) {
+	rng := newRng(111)
+	cons := constellation.MustNew(64)
+	sigma2 := channel.Sigma2FromSNRdB(24, 1)
+	h := channel.Rayleigh(rng, 8, 8)
+	sph := NewSphere(cons)
+	if err := sph.Prepare(h, sigma2); err != nil {
+		b.Fatal(err)
+	}
+	s := randSymbols(rng, cons, 8)
+	y := transmit(rng, h, cons, s, sigma2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sph.Detect(y)
+	}
+}
+
+func BenchmarkFCSD12x12_64QAM_L1(b *testing.B) {
+	rng := newRng(112)
+	cons := constellation.MustNew(64)
+	sigma2 := channel.Sigma2FromSNRdB(22, 1)
+	h := channel.Rayleigh(rng, 12, 12)
+	f := NewFCSD(cons, 1)
+	if err := f.Prepare(h, sigma2); err != nil {
+		b.Fatal(err)
+	}
+	s := randSymbols(rng, cons, 12)
+	y := transmit(rng, h, cons, s, sigma2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Detect(y)
+	}
+}
+
+func TestLRZFNoiselessRecovery(t *testing.T) {
+	rng := newRng(120)
+	for _, m := range []int{4, 16, 64} {
+		cons := constellation.MustNew(m)
+		lr := NewLRZF(cons)
+		for trial := 0; trial < 10; trial++ {
+			h := channel.Rayleigh(rng, 6, 6)
+			if err := lr.Prepare(h, 1e-9); err != nil {
+				t.Fatal(err)
+			}
+			s := randSymbols(rng, cons, 6)
+			y := transmit(rng, h, cons, s, 0)
+			if got := lr.Detect(y); !equalInts(got, s) {
+				t.Fatalf("%d-QAM trial %d: LR-ZF noiseless recovery failed: %v vs %v", m, trial, got, s)
+			}
+		}
+	}
+}
+
+func TestLRZFBeatsPlainZF(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	// Lattice reduction collects receive diversity plain ZF lacks: at a
+	// moderate SNR on square channels its SER must be clearly lower.
+	cons := constellation.MustNew(16)
+	const nt, snr, trials, seed = 4, 14, 400, 121
+	serLR := symbolErrorRate(t, NewLRZF(cons), cons, nt, snr, trials, seed)
+	serZF := symbolErrorRate(t, NewZF(cons), cons, nt, snr, trials, seed)
+	t.Logf("SER: LR-ZF=%.4f ZF=%.4f", serLR, serZF)
+	if serLR >= serZF {
+		t.Fatalf("LR-ZF (%.4f) not better than ZF (%.4f)", serLR, serZF)
+	}
+}

@@ -1,0 +1,89 @@
+package detector
+
+import (
+	"fmt"
+	"sort"
+
+	"flexcore/internal/cmatrix"
+	"flexcore/internal/constellation"
+)
+
+// KBest is the breadth-first K-best sphere decoder (related work the
+// paper contrasts with: a fixed, per-level-synchronised form of
+// parallelism). At every tree level only the K partial paths with the
+// smallest partial Euclidean distances survive.
+type KBest struct {
+	treeState
+	K   int
+	ops OpCount
+}
+
+// NewKBest returns a K-best detector with K survivors per level.
+func NewKBest(cons *constellation.Constellation, k int) *KBest {
+	if k < 1 {
+		panic("detector: K must be ≥ 1")
+	}
+	return &KBest{treeState: treeState{cons: cons}, K: k}
+}
+
+// Name implements Detector.
+func (d *KBest) Name() string { return fmt.Sprintf("KBest(K=%d)", d.K) }
+
+// Prepare implements Detector.
+func (d *KBest) Prepare(h *cmatrix.Matrix, sigma2 float64) error {
+	d.qr = cmatrix.SortedQR(h, cmatrix.OrderSQRD)
+	d.n = h.Cols
+	d.ops.Prepares++
+	muls := int64(4 * h.Rows * h.Cols * h.Cols)
+	d.ops.RealMuls += muls
+	d.ops.FLOPs += 2 * muls
+	return nil
+}
+
+type kbPath struct {
+	idx []int
+	sym []complex128
+	ped float64
+}
+
+// Detect implements Detector.
+func (d *KBest) Detect(y []complex128) []int {
+	ybar := d.qr.Ybar(y)
+	d.ops.RealMuls += int64(4 * len(y) * d.n)
+	d.ops.FLOPs += int64(8 * len(y) * d.n)
+	d.ops.Detections++
+
+	m := d.cons.Size()
+	survivors := []kbPath{{idx: make([]int, d.n), sym: make([]complex128, d.n)}}
+	for row := d.n - 1; row >= 0; row-- {
+		rii := real(d.qr.R.At(row, row))
+		next := make([]kbPath, 0, len(survivors)*m)
+		for _, p := range survivors {
+			b := cancel(d.qr.R, ybar, p.sym, row)
+			d.ops.RealMuls += int64(4 * (d.n - 1 - row))
+			d.ops.Nodes++
+			for k, q := range d.cons.Points() {
+				inc := pedIncrement(b, rii, q)
+				d.ops.RealMuls += 2
+				d.ops.FLOPs += 7
+				child := kbPath{
+					idx: append([]int(nil), p.idx...),
+					sym: append([]complex128(nil), p.sym...),
+					ped: p.ped + inc,
+				}
+				child.idx[row] = k
+				child.sym[row] = q
+				next = append(next, child)
+			}
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i].ped < next[j].ped })
+		if len(next) > d.K {
+			next = next[:d.K]
+		}
+		survivors = next
+	}
+	return d.qr.UnpermuteInts(survivors[0].idx)
+}
+
+// OpCount implements Detector.
+func (d *KBest) OpCount() OpCount { return d.ops }

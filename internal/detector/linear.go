@@ -1,0 +1,75 @@
+package detector
+
+import (
+	"flexcore/internal/cmatrix"
+	"flexcore/internal/constellation"
+)
+
+// Linear is a linear filter-and-slice detector (ZF or MMSE). The paper
+// uses MMSE as the linear baseline (Argos, BigStation, SAM all use linear
+// detection); ZF is included for completeness.
+type Linear struct {
+	cons *constellation.Constellation
+	mmse bool
+	w    *cmatrix.Matrix
+	ops  OpCount
+	nt   int
+}
+
+// NewZF returns a zero-forcing detector.
+func NewZF(cons *constellation.Constellation) *Linear {
+	return &Linear{cons: cons, mmse: false}
+}
+
+// NewMMSE returns a linear MMSE detector.
+func NewMMSE(cons *constellation.Constellation) *Linear {
+	return &Linear{cons: cons, mmse: true}
+}
+
+// Name implements Detector.
+func (d *Linear) Name() string {
+	if d.mmse {
+		return "MMSE"
+	}
+	return "ZF"
+}
+
+// Prepare computes the linear filter for the channel.
+func (d *Linear) Prepare(h *cmatrix.Matrix, sigma2 float64) error {
+	var err error
+	if d.mmse {
+		d.w, err = cmatrix.MMSEFilter(h, sigma2, 1)
+	} else {
+		d.w, err = cmatrix.PseudoInverseZF(h)
+	}
+	if err != nil {
+		return err
+	}
+	d.nt = h.Cols
+	d.ops.Prepares++
+	// Filter construction: Gram matrix (nt²·nr complex MACs), inversion
+	// (≈nt³), product (nt²·nr) — count real multiplications (×4).
+	nr := int64(h.Rows)
+	nt := int64(h.Cols)
+	muls := 4 * (nt*nt*nr + nt*nt*nt + nt*nt*nr)
+	d.ops.RealMuls += muls
+	d.ops.FLOPs += 2 * muls
+	return nil
+}
+
+// Detect filters and slices.
+func (d *Linear) Detect(y []complex128) []int {
+	x := d.w.MulVec(y)
+	out := make([]int, d.nt)
+	for i, v := range x {
+		out[i] = d.cons.Slice(v)
+	}
+	d.ops.Detections++
+	muls := int64(4 * d.w.Rows * d.w.Cols)
+	d.ops.RealMuls += muls
+	d.ops.FLOPs += 2 * muls
+	return out
+}
+
+// OpCount implements Detector.
+func (d *Linear) OpCount() OpCount { return d.ops }

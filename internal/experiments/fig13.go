@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"flexcore/internal/platform/fpga"
+)
+
+// Fig13 regenerates the paper's Fig. 13: FPGA energy efficiency
+// (Joules/bit) of FlexCore and the FCSD on the XCVU440 as a function of
+// the number of instantiated processing elements M, under equal network-
+// throughput requirements (Fig. 9's equivalence points: FlexCore 32 ≈
+// FCSD 64 paths for L=1, FlexCore 128 ≈ FCSD 4096 for L=2), with
+// extrapolation up to the 75 % device-utilization cap.
+func Fig13(cfg Config, w io.Writer) ([]*Table, error) {
+	type series struct {
+		name  string
+		pe    fpga.PE
+		paths int
+	}
+	groups := []struct {
+		title  string
+		series []series
+	}{
+		{"Nt=8, L=1 equivalence (FlexCore 32 paths ≡ FCSD 64 paths)", []series{
+			{"FlexCore", fpga.FlexCorePE8, 32},
+			{"FCSD", fpga.FCSDPE8, 64},
+		}},
+		{"Nt=12, L=1 equivalence (FlexCore 32 ≡ FCSD 64)", []series{
+			{"FlexCore", fpga.FlexCorePE12, 32},
+			{"FCSD", fpga.FCSDPE12, 64},
+		}},
+		{"Nt=12, L=2 equivalence (FlexCore 128 ≡ FCSD 4096)", []series{
+			{"FlexCore", fpga.FlexCorePE12, 128},
+			{"FCSD", fpga.FCSDPE12, 4096},
+		}},
+	}
+	ms := []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+	var out []*Table
+	for _, g := range groups {
+		t := &Table{
+			Title:  "Fig. 13 — FPGA energy efficiency (J/bit), " + g.title,
+			Header: []string{"M"},
+		}
+		for _, s := range g.series {
+			t.Header = append(t.Header, s.name+" (J/bit)")
+		}
+		var lastRatio float64
+		for _, m := range ms {
+			row := []string{d(int64(m))}
+			vals := make([]float64, len(g.series))
+			for i, s := range g.series {
+				max := fpga.XCVU440.MaxInstances(s.pe)
+				if m > max {
+					row = append(row, fmt.Sprintf("× (>%d max)", max))
+					vals[i] = -1
+					continue
+				}
+				v := fpga.EnergyPerBit(s.pe, m, s.paths, 6)
+				vals[i] = v
+				row = append(row, e2(v))
+			}
+			if vals[0] > 0 && vals[1] > 0 {
+				lastRatio = vals[1] / vals[0]
+			}
+			t.Add(row...)
+		}
+		t.Notes = append(t.Notes, fmt.Sprintf("FCSD/FlexCore J/bit ratio at equal M: %.2f× (paper band: 1.54× for Nt=8 L=1 up to 28.8× for Nt=12 L=2)", lastRatio))
+		if w != nil {
+			t.Fprint(w)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

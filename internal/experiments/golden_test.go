@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files for the deterministic experiments")
+
+// goldenNames lists the experiments whose output is fully deterministic
+// and model-based (no Monte-Carlo), so their rendered tables can be
+// golden-checked byte for byte.
+var goldenNames = []string{"table3", "fig11", "fig13"}
+
+func TestDeterministicExperimentsGolden(t *testing.T) {
+	for _, name := range goldenNames {
+		var buf bytes.Buffer
+		tabs, err := RunTables(name, Config{Quick: true, Seed: 42}, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, tab := range tabs {
+			tab.Fprint(&buf)
+		}
+		path := filepath.Join("testdata", name+".golden")
+		if *updateGolden {
+			if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: missing golden (run with -update-golden): %v", name, err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Fatalf("%s: output diverged from golden\n--- got ---\n%s\n--- want ---\n%s", name, buf.String(), want)
+		}
+	}
+}

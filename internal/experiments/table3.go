@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"flexcore/internal/platform/fpga"
+)
+
+// Table3 regenerates the paper's Table 3: single-processing-element
+// implementation cost of FlexCore and the FCSD on the XCVU440 at 64-QAM,
+// plus the derived area-delay comparison. The per-element constants are
+// the paper's published measurements (the repo has no synthesis tools);
+// the derived columns and comparisons are computed by the model.
+func Table3(cfg Config, w io.Writer) (*Table, error) {
+	t := &Table{
+		Title:  "Table 3 — Single processing element on the XCVU440 (64-QAM)",
+		Header: []string{"System", "Engine", "LUT logic", "LUT mem", "FF pairs", "CLB slices", "DSP48", "fmax (MHz)", "Power (W)", "Area·delay (slice·µs)"},
+	}
+	rows := []struct {
+		label string
+		pe    fpga.PE
+	}{
+		{"8×8", fpga.FlexCorePE8},
+		{"8×8", fpga.FCSDPE8},
+		{"12×12", fpga.FlexCorePE12},
+		{"12×12", fpga.FCSDPE12},
+	}
+	for _, r := range rows {
+		t.Add(r.label, r.pe.Name,
+			fmt.Sprintf("%d", r.pe.LUTLogic), fmt.Sprintf("%d", r.pe.LUTMem),
+			fmt.Sprintf("%d", r.pe.FFPairs), fmt.Sprintf("%d", r.pe.CLBSlices),
+			fmt.Sprintf("%d", r.pe.DSP48), f1(r.pe.FmaxMHz), f2(r.pe.PowerW),
+			f2(r.pe.AreaDelay()))
+	}
+	o8 := fpga.AreaDelayOverhead(fpga.FlexCorePE8, fpga.FCSDPE8)
+	o12 := fpga.AreaDelayOverhead(fpga.FlexCorePE12, fpga.FCSDPE12)
+	g8 := fpga.FlexCorePE12.AreaDelay() / fpga.FlexCorePE8.AreaDelay()
+	g12 := fpga.FCSDPE12.AreaDelay() / fpga.FCSDPE8.AreaDelay()
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("FlexCore per-element area-delay overhead vs FCSD: %.1f%% (Nt=8), %.1f%% (Nt=12) — modest and shrinking with Nt, as the paper reports", 100*o8, 100*o12),
+		fmt.Sprintf("Nt=12 vs Nt=8 area-delay growth: %.2f× (FlexCore), %.2f× (FCSD); paper reports 1.81× and 1.99×", g8, g12),
+		fmt.Sprintf("max elements at 75%% utilization: FlexCore %d / FCSD %d (Nt=12)", fpga.XCVU440.MaxInstances(fpga.FlexCorePE12), fpga.XCVU440.MaxInstances(fpga.FCSDPE12)))
+	if w != nil {
+		t.Fprint(w)
+	}
+	return t, nil
+}

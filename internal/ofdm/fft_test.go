@@ -1,0 +1,79 @@
+package ofdm
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand/v2"
+	"testing"
+)
+
+func randSignal(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func TestFFTMatchesDFT(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for _, n := range []int{1, 2, 4, 8, 64, 256} {
+		x := randSignal(rng, n)
+		want := DFT(x)
+		got := FFT(append([]complex128(nil), x...))
+		for i := range want {
+			if cmplx.Abs(got[i]-want[i]) > 1e-9*float64(n) {
+				t.Fatalf("n=%d: FFT[%d] = %v, DFT = %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFFTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	x := randSignal(rng, 64)
+	orig := append([]complex128(nil), x...)
+	IFFT(FFT(x))
+	for i := range x {
+		if cmplx.Abs(x[i]-orig[i]) > 1e-12*64 {
+			t.Fatalf("round trip failed at %d", i)
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	x := randSignal(rng, 128)
+	var tp float64
+	for _, v := range x {
+		tp += real(v)*real(v) + imag(v)*imag(v)
+	}
+	FFT(x)
+	var fp float64
+	for _, v := range x {
+		fp += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(fp-128*tp) > 1e-8*fp {
+		t.Fatalf("Parseval violated: %v vs %v", fp, 128*tp)
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	x := make([]complex128, 16)
+	x[0] = 1
+	FFT(x)
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse FFT bin %d = %v", i, v)
+		}
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FFT(make([]complex128, 48))
+}

@@ -1,0 +1,45 @@
+package phy
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand/v2"
+
+	"flexcore/internal/channel"
+	"flexcore/internal/cmatrix"
+)
+
+// pilotMatrix returns the Nt×Np unit-modulus DFT pilot matrix: user u
+// transmits P(u,p) = e^(−2πi·u·p/Np) during pilot symbol p. For Np ≥ Nt
+// the rows are orthogonal (P·Pᴴ = Np·I), the standard multi-user uplink
+// sounding arrangement (each 802.11/LTE frame carries such a preamble).
+func pilotMatrix(nt, np int) *cmatrix.Matrix {
+	p := cmatrix.New(nt, np)
+	for u := 0; u < nt; u++ {
+		for t := 0; t < np; t++ {
+			p.Set(u, t, cmplx.Exp(complex(0, -2*math.Pi*float64(u*t)/float64(np))))
+		}
+	}
+	return p
+}
+
+// EstimateLS performs least-squares channel estimation from np pilot
+// OFDM symbols: the AP observes Y = H·P + N and recovers
+// Ĥ = Y·Pᴴ/Np, whose per-entry error variance is σ²/Np. This models the
+// over-the-air estimation step of the paper's WARP experiments ("all
+// necessary estimation and synchronisation steps", §5.1): more pilots
+// mean a cleaner estimate, and the paper's §3.1 point that FlexCore's
+// pre-processing needs reliable channel knowledge becomes measurable.
+func EstimateLS(rng *rand.Rand, h *cmatrix.Matrix, sigma2 float64, np int) *cmatrix.Matrix {
+	nt := h.Cols
+	if np < nt {
+		np = nt // fewer pilots than users cannot separate the streams
+	}
+	p := pilotMatrix(nt, np)
+	y := h.Mul(p)
+	for i := range y.Data {
+		y.Data[i] += channel.CN(rng, sigma2)
+	}
+	est := y.Mul(p.H())
+	return est.Scale(complex(1/float64(np), 0))
+}

@@ -1,0 +1,218 @@
+package phy
+
+import (
+	"fmt"
+
+	"flexcore/internal/channel"
+	"flexcore/internal/coding"
+	"flexcore/internal/detector"
+	"flexcore/internal/ofdm"
+)
+
+// ActivePathReporter is implemented by detectors (a-FlexCore) that
+// activate a channel-dependent subset of their processing elements.
+type ActivePathReporter interface {
+	ActivePaths() int
+}
+
+// SoftDetector is implemented by detectors that can emit per-bit LLRs
+// alongside hard decisions (FlexCore's list-sphere soft output — the
+// paper's §7 extension). LLRs are positive when bit 0 is favoured.
+type SoftDetector interface {
+	detector.Detector
+	DetectSoft(y []complex128, sigma2 float64) (best []int, llrs [][]float64)
+}
+
+// SimConfig drives one link-level measurement.
+type SimConfig struct {
+	Link     LinkConfig
+	SNRdB    float64
+	Packets  int
+	Seed     uint64
+	Detector detector.Detector
+	// Channels defaults to a fresh TDLProvider over the link geometry.
+	Channels ChannelProvider
+	// MaxPacketErrors stops the run early once this many user-packet
+	// errors are observed (0 = run all packets) — standard Monte-Carlo
+	// early termination for PER estimation.
+	MaxPacketErrors int
+	// Soft enables soft-decision decoding: the detector must implement
+	// SoftDetector, and the receive chain feeds its LLRs to a soft
+	// Viterbi decoder instead of hard decisions.
+	Soft bool
+	// EstErrorVar adds synthetic channel-estimation error: the detector
+	// is prepared on Ĥ = H + E with i.i.d. CN(0, EstErrorVar·σ²) entries
+	// (pilot-limited estimation noise scales with the channel noise),
+	// while transmissions still traverse the true H. The paper's §3.1
+	// notes that reliable channel estimates are required for both the
+	// QR decomposition and FlexCore's path selection; this knob measures
+	// the sensitivity. 0 disables.
+	EstErrorVar float64
+	// PilotSymbols enables explicit least-squares channel estimation
+	// from that many pilot OFDM symbols per packet and subcarrier (see
+	// EstimateLS); it takes precedence over EstErrorVar. 0 = genie CSI.
+	PilotSymbols int
+}
+
+// Result summarises a link-level run.
+type Result struct {
+	UserPackets  int
+	PacketErrors int
+	PER          float64
+	PayloadBits  int64
+	BitErrors    int64
+	BER          float64
+	// ThroughputBps is the paper's network-throughput metric for the full
+	// 48-subcarrier 802.11 symbol: PHY rate × (1 − PER).
+	ThroughputBps float64
+	// AvgActivePEs is the mean per-channel active processing-element
+	// count (meaningful for a-FlexCore; equals the fixed path count
+	// otherwise, 0 if the detector does not report it).
+	AvgActivePEs float64
+}
+
+// Run simulates Packets MIMO-OFDM packets through the full chain and
+// returns PER, BER and throughput.
+func Run(cfg SimConfig) (Result, error) {
+	if err := cfg.Link.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.Packets < 1 {
+		return Result{}, fmt.Errorf("phy: need at least one packet")
+	}
+	if cfg.Detector == nil {
+		return Result{}, fmt.Errorf("phy: detector required")
+	}
+	link := cfg.Link
+	if cfg.Channels == nil {
+		sc := make([]int, link.Subcarriers)
+		idx := ofdm.DataSubcarrierIndices()
+		for i := range sc {
+			sc[i] = idx[i*len(idx)/link.Subcarriers]
+		}
+		cfg.Channels = &TDLProvider{
+			Seed:        cfg.Seed ^ 0x5bf03635,
+			Users:       link.Users,
+			APAntennas:  link.APAntennas,
+			Subcarriers: sc,
+			Config:      channel.DefaultIndoorTDL,
+		}
+	}
+	il, err := coding.NewInterleaver(link.ncbps(), link.Constellation.BitsPerSymbol())
+	if err != nil {
+		return Result{}, err
+	}
+	sigma2 := channel.Sigma2FromSNRdB(cfg.SNRdB, 1)
+	rng := channel.NewRNG(cfg.Seed)
+
+	var soft SoftDetector
+	if cfg.Soft {
+		var ok bool
+		soft, ok = cfg.Detector.(SoftDetector)
+		if !ok {
+			return Result{}, fmt.Errorf("phy: detector %s cannot produce soft outputs", cfg.Detector.Name())
+		}
+	}
+
+	var res Result
+	var activeSum float64
+	var activeN int
+	rx := make([][][]int, link.Users) // [user][ofdmSym][subcarrier]
+	var rxL [][][]float64             // [user][ofdmSym][ncbps] when soft
+	for u := range rx {
+		rx[u] = make([][]int, link.OFDMSymbols)
+		for s := range rx[u] {
+			rx[u][s] = make([]int, link.Subcarriers)
+		}
+	}
+	if cfg.Soft {
+		rxL = make([][][]float64, link.Users)
+		for u := range rxL {
+			rxL[u] = make([][]float64, link.OFDMSymbols)
+			for s := range rxL[u] {
+				rxL[u][s] = make([]float64, link.ncbps())
+			}
+		}
+	}
+	bps := link.Constellation.BitsPerSymbol()
+	x := make([]complex128, link.Users)
+
+	for pkt := 0; pkt < cfg.Packets; pkt++ {
+		hs := cfg.Channels.Packet(pkt)
+		if len(hs) != link.Subcarriers {
+			return Result{}, fmt.Errorf("phy: provider returned %d subcarriers, want %d", len(hs), link.Subcarriers)
+		}
+		tx := make([]txPacket, link.Users)
+		for u := range tx {
+			tx[u] = link.buildTxPacket(rng, il)
+		}
+		for k := 0; k < link.Subcarriers; k++ {
+			prepH := hs[k]
+			switch {
+			case cfg.PilotSymbols > 0:
+				prepH = EstimateLS(rng, prepH, sigma2, cfg.PilotSymbols)
+			case cfg.EstErrorVar > 0:
+				est := prepH.Copy()
+				for i := range est.Data {
+					est.Data[i] += channel.CN(rng, cfg.EstErrorVar*sigma2)
+				}
+				prepH = est
+			}
+			if err := cfg.Detector.Prepare(prepH, sigma2); err != nil {
+				return Result{}, fmt.Errorf("phy: prepare subcarrier %d: %w", k, err)
+			}
+			if rep, ok := cfg.Detector.(ActivePathReporter); ok {
+				activeSum += float64(rep.ActivePaths())
+				activeN++
+			}
+			for s := 0; s < link.OFDMSymbols; s++ {
+				for u := 0; u < link.Users; u++ {
+					x[u] = link.Constellation.Point(tx[u].symbols[s][k])
+				}
+				y := hs[k].MulVec(x)
+				channel.AddAWGN(rng, y, sigma2)
+				if cfg.Soft {
+					got, llrs := soft.DetectSoft(y, sigma2)
+					for u := 0; u < link.Users; u++ {
+						rx[u][s][k] = got[u]
+						copy(rxL[u][s][k*bps:(k+1)*bps], llrs[u])
+					}
+				} else {
+					got := cfg.Detector.Detect(y)
+					for u := 0; u < link.Users; u++ {
+						rx[u][s][k] = got[u]
+					}
+				}
+			}
+		}
+		for u := 0; u < link.Users; u++ {
+			var ok bool
+			var bitErrs int
+			var err error
+			if cfg.Soft {
+				ok, bitErrs, err = link.decodeRxPacketSoft(rxL[u], tx[u], il)
+			} else {
+				ok, bitErrs, err = link.decodeRxPacket(rx[u], tx[u], il)
+			}
+			if err != nil {
+				return Result{}, err
+			}
+			res.UserPackets++
+			if !ok {
+				res.PacketErrors++
+			}
+			res.BitErrors += int64(bitErrs)
+			res.PayloadBits += int64(len(tx[u].payload))
+		}
+		if cfg.MaxPacketErrors > 0 && res.PacketErrors >= cfg.MaxPacketErrors {
+			break
+		}
+	}
+	res.PER = float64(res.PacketErrors) / float64(res.UserPackets)
+	res.BER = float64(res.BitErrors) / float64(res.PayloadBits)
+	res.ThroughputBps = ofdm.NetworkThroughput(link.Users, link.Constellation.BitsPerSymbol(), link.CodeRate.Value(), res.PER)
+	if activeN > 0 {
+		res.AvgActivePEs = activeSum / float64(activeN)
+	}
+	return res, nil
+}

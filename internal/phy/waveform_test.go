@@ -1,0 +1,94 @@
+package phy
+
+import (
+	"testing"
+
+	"flexcore/internal/constellation"
+	"flexcore/internal/core"
+	"flexcore/internal/detector"
+)
+
+func waveformCfg(det detector.Detector, snr float64, seed uint64) WaveformConfig {
+	return WaveformConfig{
+		Users:         4,
+		APAntennas:    4,
+		Constellation: constellation.MustNew(16),
+		DataSymbols:   6,
+		SNRdB:         snr,
+		Taps:          4,
+		Seed:          seed,
+		Detector:      det,
+	}
+}
+
+func TestWaveformHighSNRErrorFree(t *testing.T) {
+	cons := constellation.MustNew(16)
+	res, err := RunWaveform(waveformCfg(core.New(cons, core.Options{NPE: 32}), 38, 701))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SymbolErrors != 0 {
+		t.Fatalf("38 dB waveform chain: %d/%d symbol errors", res.SymbolErrors, res.Symbols)
+	}
+	if res.Symbols != 4*6*48 {
+		t.Fatalf("symbol count %d", res.Symbols)
+	}
+	// The preamble estimate must be tight at high SNR.
+	if res.ChannelErrVar > 1e-3 {
+		t.Fatalf("channel estimation error %v too large", res.ChannelErrVar)
+	}
+}
+
+func TestWaveformEstimationErrorScalesWithSNR(t *testing.T) {
+	cons := constellation.MustNew(16)
+	hi, err := RunWaveform(waveformCfg(detector.NewMMSE(cons), 30, 702))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := RunWaveform(waveformCfg(detector.NewMMSE(cons), 10, 702))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.ChannelErrVar <= hi.ChannelErrVar {
+		t.Fatalf("estimation error should grow with noise: %v vs %v", lo.ChannelErrVar, hi.ChannelErrVar)
+	}
+}
+
+func TestWaveformDetectorOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	// On the full waveform chain (with real channel estimation) FlexCore
+	// must still beat MMSE at a moderate SNR.
+	cons := constellation.MustNew(16)
+	fc, err := RunWaveform(waveformCfg(core.New(cons, core.Options{NPE: 32}), 15, 703))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, err := RunWaveform(waveformCfg(detector.NewMMSE(cons), 15, 703))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("waveform SER: FlexCore=%.4f MMSE=%.4f (est err %v)", fc.SER, mm.SER, fc.ChannelErrVar)
+	if fc.SER >= mm.SER {
+		t.Fatalf("FlexCore (%.4f) not better than MMSE (%.4f) on the waveform chain", fc.SER, mm.SER)
+	}
+}
+
+func TestWaveformValidation(t *testing.T) {
+	cons := constellation.MustNew(16)
+	cfg := waveformCfg(detector.NewMMSE(cons), 20, 1)
+	cfg.Taps = 17 // longer than the cyclic prefix
+	if _, err := RunWaveform(cfg); err == nil {
+		t.Fatal("taps beyond CP accepted")
+	}
+	cfg = waveformCfg(nil, 20, 1)
+	if _, err := RunWaveform(cfg); err == nil {
+		t.Fatal("nil detector accepted")
+	}
+	cfg = waveformCfg(detector.NewMMSE(cons), 20, 1)
+	cfg.Users = 5 // more users than antennas
+	if _, err := RunWaveform(cfg); err == nil {
+		t.Fatal("users > antennas accepted")
+	}
+}

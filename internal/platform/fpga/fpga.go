@@ -1,0 +1,117 @@
+// Package fpga models the paper's FPGA implementations (§4, §5.3)
+// through a resource/latency/power cost model instantiated with the
+// paper's own Table 3 per-processing-element measurements on the Xilinx
+// Virtex Ultrascale XCVU440. The model regenerates Table 3's area-delay
+// comparison and Fig. 13's energy-efficiency exploration; see DESIGN.md
+// §2 for the substitution rationale.
+package fpga
+
+import "math"
+
+// PE describes one fully-instantiated processing element (the logic for
+// a whole sphere-decoder path, top to bottom — §4).
+type PE struct {
+	Name      string
+	Nt        int
+	LUTLogic  int     // CLB LUTs used as logic
+	LUTMem    int     // CLB LUTs used as memory / FF pairs block
+	FFPairs   int     // flip-flop pairs
+	CLBSlices int     // occupied CLB slices
+	DSP48     int     // embedded multiply-add slices
+	FmaxMHz   float64 // maximum clock of a single element
+	PowerW    float64 // estimated power of a single element at 100 % load
+}
+
+// Table 3 of the paper: single processing element at 64-QAM on the
+// XCVU440-flga2892-3-e.
+var (
+	FlexCorePE8  = PE{Name: "FlexCore", Nt: 8, LUTLogic: 3206, LUTMem: 15276, FFPairs: 1187, CLBSlices: 5363, DSP48: 16, FmaxMHz: 312.5, PowerW: 6.82}
+	FCSDPE8      = PE{Name: "FCSD", Nt: 8, LUTLogic: 2187, LUTMem: 11320, FFPairs: 713, CLBSlices: 4717, DSP48: 16, FmaxMHz: 370.4, PowerW: 6.54}
+	FlexCorePE12 = PE{Name: "FlexCore", Nt: 12, LUTLogic: 5795, LUTMem: 28810, FFPairs: 2497, CLBSlices: 11415, DSP48: 24, FmaxMHz: 312.5, PowerW: 9.157}
+	FCSDPE12     = PE{Name: "FCSD", Nt: 12, LUTLogic: 4364, LUTMem: 23252, FFPairs: 1537, CLBSlices: 10501, DSP48: 24, FmaxMHz: 370.4, PowerW: 9.04}
+)
+
+// Device holds the target-device resource budget.
+type Device struct {
+	Name   string
+	LUTs   int
+	DSP48s int
+	// UtilizationCap is the fraction of the device the paper allows when
+	// extrapolating (75 %, to avoid routing congestion [3]).
+	UtilizationCap float64
+}
+
+// XCVU440 is the paper's Virtex Ultrascale evaluation device.
+var XCVU440 = Device{Name: "XCVU440", LUTs: 2532960, DSP48s: 2880, UtilizationCap: 0.75}
+
+// MultiPEClockNs is the pipeline clock period used for the multi-element
+// exploration (§5.3: 5.5 ns, the minimum both engines support).
+const MultiPEClockNs = 5.5
+
+// TotalLUTs returns the element's total LUT footprint.
+func (p PE) TotalLUTs() int { return p.LUTLogic + p.LUTMem }
+
+// AreaDelay returns the area-delay product (CLB slices × critical-path
+// delay) of a single element, in slice-microseconds.
+func (p PE) AreaDelay() float64 { return float64(p.CLBSlices) / p.FmaxMHz }
+
+// AreaDelayOverhead returns the fractional area-delay increase of pe
+// over base (Table 3's bottom line).
+func AreaDelayOverhead(pe, base PE) float64 {
+	return pe.AreaDelay()/base.AreaDelay() - 1
+}
+
+// MaxInstances returns how many processing elements fit the device under
+// the utilization cap (LUT- and DSP-bound, whichever is tighter).
+func (d Device) MaxInstances(p PE) int {
+	byLUT := int(float64(d.LUTs) * d.UtilizationCap / float64(p.TotalLUTs()))
+	byDSP := int(float64(d.DSP48s) * d.UtilizationCap / float64(p.DSP48))
+	if byDSP < byLUT {
+		return byDSP
+	}
+	return byLUT
+}
+
+// Throughput returns the detector's processing throughput in bit/s when
+// m elements serve a detector that needs pathsRequired paths per
+// received vector: the pipelined elements complete m paths per clock, so
+// vectors/s = m·f/paths, each carrying Nt·log2|Q| bits. This is the
+// paper's formula (§5.3), which for the FCSD at L=1 reduces to
+// log2(|Q|)·Nt·fmax·M/|Q|.
+func Throughput(p PE, m, pathsRequired, bitsPerSymbol int) float64 {
+	f := 1e9 / MultiPEClockNs // pipeline clock (Hz) at the shared 5.5 ns
+	vectorsPerSec := float64(m) * f / float64(pathsRequired)
+	return vectorsPerSec * float64(p.Nt) * float64(bitsPerSymbol)
+}
+
+// Power returns the modelled power of m instantiated elements. The
+// Table 3 figure for one element includes the device's static power;
+// additional elements add only their dynamic share.
+func Power(p PE, m int) float64 {
+	if m < 1 {
+		m = 1
+	}
+	dynamic := p.PowerW - StaticPowerW
+	if dynamic < 0 {
+		dynamic = p.PowerW
+	}
+	return StaticPowerW + float64(m)*dynamic
+}
+
+// StaticPowerW is the assumed device static power folded into Table 3's
+// single-element estimates (worst-case static conditions, §5.3).
+const StaticPowerW = 2.5
+
+// EnergyPerBit returns the paper's J/bit index for m elements serving
+// pathsRequired paths per vector.
+func EnergyPerBit(p PE, m, pathsRequired, bitsPerSymbol int) float64 {
+	return Power(p, m) / Throughput(p, m, pathsRequired, bitsPerSymbol)
+}
+
+// MinInstancesForVectorRate returns the smallest element count that
+// sustains the given received-vector rate (vectors/s) for pathsRequired
+// paths per vector — e.g. the 20 MHz LTE bandwidth in §5.3.
+func MinInstancesForVectorRate(pathsRequired int, vectorRate float64) int {
+	f := 1e9 / MultiPEClockNs
+	return int(math.Ceil(vectorRate * float64(pathsRequired) / f))
+}

@@ -1,0 +1,126 @@
+package fpga
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAreaDelayOverheadBand(t *testing.T) {
+	// Table 3: FlexCore's per-element overhead is modest and *decreases*
+	// with Nt (the caption quotes 73.7 % → 57.8 % on the full-resource
+	// weighting; the slice-based figure is smaller but must follow the
+	// same trend and stay below 2×).
+	o8 := AreaDelayOverhead(FlexCorePE8, FCSDPE8)
+	o12 := AreaDelayOverhead(FlexCorePE12, FCSDPE12)
+	if o8 <= 0 || o8 > 1 {
+		t.Fatalf("Nt=8 overhead %.2f out of band", o8)
+	}
+	if o12 <= 0 || o12 > 1 {
+		t.Fatalf("Nt=12 overhead %.2f out of band", o12)
+	}
+	if o12 >= o8 {
+		t.Fatalf("overhead should shrink with Nt: %.3f vs %.3f", o12, o8)
+	}
+}
+
+func TestAreaDelayGrowthWithNt(t *testing.T) {
+	// Table 3 caption: Nt=12 costs 1.81× (FlexCore) and 1.99× (FCSD) the
+	// area-delay of Nt=8.
+	gFlex := FlexCorePE12.AreaDelay() / FlexCorePE8.AreaDelay()
+	gFCSD := FCSDPE12.AreaDelay() / FCSDPE8.AreaDelay()
+	if math.Abs(gFlex-1.81) > 0.40 {
+		t.Fatalf("FlexCore Nt growth %.2f, want ≈1.81", gFlex)
+	}
+	if math.Abs(gFCSD-1.99) > 0.40 {
+		t.Fatalf("FCSD Nt growth %.2f, want ≈1.99", gFCSD)
+	}
+}
+
+func TestThroughputHeadline(t *testing.T) {
+	// §5.3: with M=32 elements FlexCore reaches ≈13.09 Gbps when 32
+	// paths are needed and ≈3.27 Gbps at 128 paths (12×12, 64-QAM).
+	t32 := Throughput(FlexCorePE12, 32, 32, 6)
+	t128 := Throughput(FlexCorePE12, 32, 128, 6)
+	if math.Abs(t32-13.09e9) > 0.2e9 {
+		t.Fatalf("32-path throughput %.3g, want ≈13.09 Gbps", t32)
+	}
+	if math.Abs(t128-3.27e9) > 0.1e9 {
+		t.Fatalf("128-path throughput %.3g, want ≈3.27 Gbps", t128)
+	}
+}
+
+func TestFCSDThroughputFormula(t *testing.T) {
+	// The paper's FCSD formula: log2(|Q|)·Nt·fmax·M/|Q| (f at 5.5 ns).
+	f := 1e9 / MultiPEClockNs
+	want := 6.0 * 12 * f * 64 / 64
+	if got := Throughput(FCSDPE12, 64, 64, 6); math.Abs(got-want) > 1 {
+		t.Fatalf("FCSD throughput %v, want %v", got, want)
+	}
+}
+
+func TestLTEInstanceRequirements(t *testing.T) {
+	// §5.3: supporting the 20 MHz LTE bandwidth needs ≥3 elements for 32
+	// paths and ≥9 for 128 paths. The LTE vector rate is 1200 subcarriers
+	// × 14000 symbols/s = 16.8 M vectors/s.
+	const vectorRate = 1200 * 14000
+	if got := MinInstancesForVectorRate(32, vectorRate); got < 3 || got > 4 {
+		t.Fatalf("32 paths need %d elements, want ≈3", got)
+	}
+	if got := MinInstancesForVectorRate(128, vectorRate); got < 9 || got > 13 {
+		t.Fatalf("128 paths need %d elements, want ≈9+", got)
+	}
+}
+
+func TestMaxInstancesRespectsCap(t *testing.T) {
+	m := XCVU440.MaxInstances(FlexCorePE12)
+	if m < 1 {
+		t.Fatal("no instances fit")
+	}
+	used := m * FlexCorePE12.TotalLUTs()
+	if float64(used) > float64(XCVU440.LUTs)*XCVU440.UtilizationCap {
+		t.Fatal("utilization cap violated")
+	}
+	// The FCSD element is smaller, so more of them fit.
+	if XCVU440.MaxInstances(FCSDPE12) <= m {
+		t.Fatal("smaller FCSD element should fit more instances")
+	}
+}
+
+func TestEnergyPerBitComparison(t *testing.T) {
+	// Fig. 13: at equal network-throughput requirements the FCSD needs
+	// ≈1.54× (Nt=8, L=1: 32 vs 64 paths) up to ≈28.8× (Nt=12, L=2: 128
+	// vs 4096 paths) more J/bit. Compare at the same instantiated M.
+	const m = 32
+	r1 := EnergyPerBit(FCSDPE8, m, 64, 6) / EnergyPerBit(FlexCorePE8, m, 32, 6)
+	r2 := EnergyPerBit(FCSDPE12, m, 4096, 6) / EnergyPerBit(FlexCorePE12, m, 128, 6)
+	if r1 < 1.3 || r1 > 3 {
+		t.Fatalf("Nt=8 L=1 J/bit ratio %.2f outside the ≈1.54× band", r1)
+	}
+	if r2 < 15 || r2 > 45 {
+		t.Fatalf("Nt=12 L=2 J/bit ratio %.2f outside the ≈28.8× band", r2)
+	}
+}
+
+func TestEnergyPerBitImprovesWithM(t *testing.T) {
+	// More elements amortise static power: J/bit must fall with M.
+	prev := math.Inf(1)
+	for _, m := range []int{1, 2, 4, 8, 16, 32} {
+		e := EnergyPerBit(FlexCorePE12, m, 128, 6)
+		if e >= prev {
+			t.Fatalf("J/bit not decreasing at M=%d", m)
+		}
+		prev = e
+	}
+}
+
+func TestPowerModel(t *testing.T) {
+	if Power(FlexCorePE8, 1) != FlexCorePE8.PowerW {
+		t.Fatal("single-element power must match Table 3")
+	}
+	if Power(FlexCorePE8, 2) <= Power(FlexCorePE8, 1) {
+		t.Fatal("power must grow with instances")
+	}
+	if Power(FlexCorePE8, 0) != FlexCorePE8.PowerW {
+		t.Fatal("zero instances should clamp to one")
+	}
+}

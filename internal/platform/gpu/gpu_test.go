@@ -1,0 +1,134 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFig11HeadlineSpeedup(t *testing.T) {
+	// The paper's headline: FlexCore |E|=128 vs FCSD L=2 (4096 paths) at
+	// 12×12 64-QAM, high occupancy → ≈19× speedup.
+	d := GTX970
+	fcsd := Workload{Vectors: 16384, PathsPerVector: 4096, Levels: 12}
+	flex := Workload{Vectors: 16384, PathsPerVector: 128, Levels: 12, FlexCore: true}
+	s := d.Speedup(fcsd, flex)
+	if s < 16 || s < 0 || s > 24 {
+		t.Fatalf("L=2 speedup %.1f outside the paper's ≈19× band", s)
+	}
+}
+
+func TestSpeedupDropsAtLowOccupancy(t *testing.T) {
+	// Fig. 11: the Nsc=64 curve sits below Nsc=1024 and Nsc=16384.
+	d := GTX970
+	speedupAt := func(nsc int) float64 {
+		return d.Speedup(
+			Workload{Vectors: nsc, PathsPerVector: 4096, Levels: 12},
+			Workload{Vectors: nsc, PathsPerVector: 128, Levels: 12, FlexCore: true},
+		)
+	}
+	s64, s1024, s16384 := speedupAt(64), speedupAt(1024), speedupAt(16384)
+	if !(s64 < s1024 && s1024 <= s16384*1.01) {
+		t.Fatalf("occupancy ordering broken: %v %v %v", s64, s1024, s16384)
+	}
+}
+
+func TestSpeedupDecreasesWithMorePaths(t *testing.T) {
+	d := GTX970
+	base := Workload{Vectors: 1024, PathsPerVector: 4096, Levels: 12}
+	prev := math.Inf(1)
+	for _, e := range []int{8, 32, 128, 512, 1024} {
+		s := d.Speedup(base, Workload{Vectors: 1024, PathsPerVector: e, Levels: 12, FlexCore: true})
+		if s >= prev {
+			t.Fatalf("speedup not decreasing in |E|: %v at %d", s, e)
+		}
+		prev = s
+	}
+}
+
+func TestGPUBeatsCPUByPaperMargin(t *testing.T) {
+	// §5.2: the GPU FCSD is at least 21× faster than OpenMP-8, and the
+	// 8-thread CPU speedup over 1 thread is ≈5.14×.
+	d := GTX970
+	w := Workload{Vectors: 16384, PathsPerVector: 64, Levels: 12}
+	gpu := d.KernelTime(w)
+	cpu8 := d.CPUTime(w, 8)
+	cpu1 := d.CPUTime(w, 1)
+	if r := cpu8 / gpu; r < 21*0.85 {
+		t.Fatalf("GPU/CPU-8 ratio %.1f below the paper's ≥21×", r)
+	}
+	if r := cpu1 / cpu8; math.Abs(r-5.14) > 0.4 {
+		t.Fatalf("8-thread OpenMP speedup %.2f, want ≈5.14", r)
+	}
+}
+
+func TestLTEAnchorPathCounts(t *testing.T) {
+	// Fig. 12 anchors used for calibration must be reproduced: Nt=8
+	// supports ≈105 paths at 1.25 MHz (525 vectors/slot) and ≈4 at
+	// 20 MHz (8400); Nt=12 supports ≈68 and ≈2.
+	d := GTX970
+	const slot = 500e-6
+	checks := []struct {
+		vectors, levels, want, tol int
+	}{
+		{525, 8, 105, 12},
+		{8400, 8, 4, 1},
+		{525, 12, 68, 8},
+		{8400, 12, 2, 1},
+	}
+	for _, c := range checks {
+		got := d.MaxPathsWithinBudget(c.vectors, c.levels, true, slot)
+		if got < c.want-c.tol || got > c.want+c.tol {
+			t.Fatalf("vectors=%d levels=%d: %d paths, want %d±%d", c.vectors, c.levels, got, c.want, c.tol)
+		}
+	}
+}
+
+func TestMaxPathsInfeasible(t *testing.T) {
+	d := GTX970
+	// A budget below the fixed overhead supports nothing.
+	if got := d.MaxPathsWithinBudget(1000, 12, true, 50e-6); got != 0 {
+		t.Fatalf("infeasible budget returned %d paths", got)
+	}
+}
+
+func TestFCSDCannotMeetWideLTEModes(t *testing.T) {
+	// Fig. 12: the FCSD needs |Q| = 64 paths minimum (L=1); beyond the
+	// narrow modes that no longer fits the slot budget.
+	d := GTX970
+	const slot = 500e-6
+	if got := d.MaxPathsWithinBudget(525, 8, false, slot); got < 64 {
+		t.Fatalf("FCSD L=1 should fit the 1.25 MHz mode, got %d", got)
+	}
+	if got := d.MaxPathsWithinBudget(8400, 8, false, slot); got >= 64 {
+		t.Fatalf("FCSD L=1 should not fit the 20 MHz mode, got %d", got)
+	}
+}
+
+func TestEnergyPerBitFavoursFlexCore(t *testing.T) {
+	d := GTX970
+	fcsd := Workload{Vectors: 16384, PathsPerVector: 4096, Levels: 12}
+	flex := Workload{Vectors: 16384, PathsPerVector: 128, Levels: 12, FlexCore: true}
+	ef := d.EnergyPerBit(flex, 6)
+	eb := d.EnergyPerBit(fcsd, 6)
+	if ef >= eb {
+		t.Fatalf("FlexCore J/bit %.3g not below FCSD %.3g", ef, eb)
+	}
+	// Abstract: ≈97 % increased energy efficiency for the L=2 case.
+	if red := 1 - ef/eb; red < 0.90 {
+		t.Fatalf("energy reduction %.2f below the paper's ≈0.97 band", red)
+	}
+}
+
+func TestKernelTimeMonotone(t *testing.T) {
+	d := GTX970
+	a := d.KernelTime(Workload{Vectors: 100, PathsPerVector: 10, Levels: 8})
+	b := d.KernelTime(Workload{Vectors: 100, PathsPerVector: 20, Levels: 8})
+	c := d.KernelTime(Workload{Vectors: 200, PathsPerVector: 10, Levels: 8})
+	if !(a < b && a < c) {
+		t.Fatal("kernel time not monotone in work")
+	}
+	flex := d.KernelTime(Workload{Vectors: 100, PathsPerVector: 10, Levels: 8, FlexCore: true})
+	if flex <= a {
+		t.Fatal("FlexCore workload factor not applied")
+	}
+}

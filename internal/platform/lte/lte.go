@@ -1,0 +1,56 @@
+// Package lte fixes the 3GPP LTE numerology the paper evaluates against
+// (§5.2, Fig. 12): the six bandwidth modes, the 500 µs timeslot budget
+// and the per-slot detection workload (7 OFDM symbols × occupied
+// subcarriers; 140× the subcarrier count per 10 ms frame).
+package lte
+
+import "flexcore/internal/platform/gpu"
+
+// SlotDuration is the LTE timeslot the detector must keep up with.
+const SlotDuration = 500e-6
+
+// SymbolsPerSlot is the OFDM symbol count per 500 µs timeslot.
+const SymbolsPerSlot = 7
+
+// Mode is one LTE bandwidth configuration.
+type Mode struct {
+	Name         string
+	BandwidthMHz float64
+	// Subcarriers is the number of occupied (data-bearing) subcarriers.
+	Subcarriers int
+}
+
+// Modes lists the LTE bandwidth modes of Fig. 12 with their occupied
+// subcarrier counts (6/15/25/50/75/100 resource blocks × 12).
+var Modes = []Mode{
+	{"1.25 MHz", 1.25, 72},
+	{"2.5 MHz", 2.5, 180},
+	{"5 MHz", 5, 300},
+	{"10 MHz", 10, 600},
+	{"15 MHz", 15, 900},
+	{"20 MHz", 20, 1200},
+}
+
+// VectorsPerSlot returns the number of received MIMO vectors the AP must
+// detect within one timeslot.
+func (m Mode) VectorsPerSlot() int { return m.Subcarriers * SymbolsPerSlot }
+
+// VectorsPerFrame returns the per-10 ms-frame workload (the paper's
+// "140× the number of occupied subcarriers").
+func (m Mode) VectorsPerFrame() int { return m.Subcarriers * 140 }
+
+// MaxPaths returns the largest per-vector path count the GPU device
+// sustains within the slot budget for this mode (0 = infeasible).
+func (m Mode) MaxPaths(d gpu.Device, levels int, flexCore bool) int {
+	return d.MaxPathsWithinBudget(m.VectorsPerSlot(), levels, flexCore, SlotDuration)
+}
+
+// SupportsFCSD reports whether the FCSD with expansion depth L (needing
+// |Q|^L paths) meets this mode's budget on the device.
+func (m Mode) SupportsFCSD(d gpu.Device, levels, qamOrder, l int) bool {
+	need := 1
+	for i := 0; i < l; i++ {
+		need *= qamOrder
+	}
+	return m.MaxPaths(d, levels, false) >= need
+}

@@ -1,0 +1,73 @@
+package lte
+
+import (
+	"testing"
+
+	"flexcore/internal/platform/gpu"
+)
+
+func TestModeWorkloads(t *testing.T) {
+	if len(Modes) != 6 {
+		t.Fatalf("%d modes, want 6", len(Modes))
+	}
+	prev := 0
+	for _, m := range Modes {
+		if m.Subcarriers <= prev {
+			t.Fatalf("subcarriers not increasing at %s", m.Name)
+		}
+		prev = m.Subcarriers
+		if m.VectorsPerFrame() != 20*m.VectorsPerSlot() {
+			t.Fatalf("%s: frame/slot inconsistency", m.Name)
+		}
+	}
+	// The paper's workload statement: 140 × subcarriers per frame.
+	if Modes[5].VectorsPerFrame() != 140*1200 {
+		t.Fatal("20 MHz frame workload wrong")
+	}
+}
+
+func TestFlexCoreSupportsAllModes(t *testing.T) {
+	// §5.2/Fig. 12: FlexCore supports every LTE bandwidth (at least one
+	// path everywhere), with path budgets shrinking as bandwidth grows.
+	d := gpu.GTX970
+	for _, levels := range []int{8, 12} {
+		prev := 1 << 30
+		for _, m := range Modes {
+			p := m.MaxPaths(d, levels, true)
+			if p < 1 {
+				t.Fatalf("Nt=%d %s: FlexCore infeasible", levels, m.Name)
+			}
+			if p > prev {
+				t.Fatalf("Nt=%d %s: path budget grew with bandwidth", levels, m.Name)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestFCSDLimitedToNarrowModes(t *testing.T) {
+	// Fig. 12: the FCSD (L=1, 64-QAM) only fits the 1.25 MHz mode, and
+	// L=2 fits nothing.
+	d := gpu.GTX970
+	for _, levels := range []int{8, 12} {
+		if !Modes[0].SupportsFCSD(d, levels, 64, 1) {
+			t.Fatalf("Nt=%d: FCSD L=1 should fit 1.25 MHz", levels)
+		}
+		// Nt=8 at 2.5 MHz is borderline in this calibration (67 vs the 64
+		// paths required); every wider mode must be infeasible, and at
+		// Nt=12 everything beyond 1.25 MHz must be infeasible.
+		for _, m := range Modes[2:] {
+			if m.SupportsFCSD(d, levels, 64, 1) {
+				t.Fatalf("Nt=%d %s: FCSD L=1 should not fit", levels, m.Name)
+			}
+		}
+		for _, m := range Modes {
+			if m.SupportsFCSD(d, levels, 64, 2) {
+				t.Fatalf("Nt=%d %s: FCSD L=2 should not fit anywhere", levels, m.Name)
+			}
+		}
+	}
+	if Modes[1].SupportsFCSD(d, 12, 64, 1) {
+		t.Fatal("Nt=12 2.5 MHz: FCSD L=1 should not fit")
+	}
+}
