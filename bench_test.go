@@ -8,6 +8,7 @@ package flexcore_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"flexcore"
@@ -226,6 +227,71 @@ func BenchmarkAblationWorkers(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				det.Detect(y)
+			}
+		})
+	}
+}
+
+// BenchmarkDetectBatch measures the zero-allocation burst entry point
+// across path budgets and pool sizes: one call detects a 12-symbol OFDM
+// burst on a 12×12 64-QAM channel. Steady state must report 0 allocs/op.
+func BenchmarkDetectBatch(b *testing.B) {
+	cons := flexcore.MustConstellation(64)
+	for _, npe := range []int{64, 512} {
+		workerCounts := []int{1, 4}
+		if n := runtime.NumCPU(); n != 1 && n != 4 {
+			workerCounts = append(workerCounts, n)
+		}
+		for _, workers := range workerCounts {
+			b.Run(fmt.Sprintf("npe=%d/workers=%d", npe, workers), func(b *testing.B) {
+				det := flexcore.New(cons, flexcore.Options{NPE: npe, Workers: workers})
+				defer det.Close()
+				y := detectSetup(b, det, 64, 12, 21.6, 0)
+				rng := channel.NewRNG(77)
+				ys := make([][]complex128, 12)
+				for s := range ys {
+					v := make([]complex128, len(y))
+					copy(v, y)
+					channel.AddAWGN(rng, v, 0.01)
+					ys[s] = v
+				}
+				det.DetectBatch(ys) // warm scratch and pool
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					det.DetectBatch(ys)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkRunParallel measures the packet-parallel Monte-Carlo
+// simulator end to end (16-QAM 8×8 coded link, FlexCore-64 per worker).
+func BenchmarkRunParallel(b *testing.B) {
+	cons := flexcore.MustConstellation(16)
+	link := flexcore.LinkConfig{
+		Users: 8, APAntennas: 8, Constellation: cons,
+		CodeRate: coding.Rate12, Subcarriers: 8, OFDMSymbols: 8,
+	}
+	workerCounts := []int{1, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 4 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := flexcore.RunLink(flexcore.SimConfig{
+					Link: link, SNRdB: 12, Packets: 16, Seed: 9,
+					Workers: workers,
+					DetectorFactory: func() flexcore.Detector {
+						return flexcore.New(cons, flexcore.Options{NPE: 64})
+					},
+					Channels: &phy.FlatProvider{Seed: 9, Users: 8, APAntennas: 8, Subcarriers: 8, APCorrelation: 0.6},
+				}); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

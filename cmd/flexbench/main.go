@@ -24,6 +24,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "reduced Monte-Carlo settings")
 	seed := flag.Uint64("seed", 42, "experiment seed (all runs are deterministic)")
+	workers := flag.Int("workers", 0, "packet-level simulation parallelism (0 = all cores; results are identical for any value)")
 	out := flag.String("o", "", "write output to a file as well as stdout")
 	csvDir := flag.String("csvdir", "", "also write each table as a CSV file into this directory")
 	flag.Usage = func() {
@@ -37,7 +38,7 @@ func main() {
 		os.Exit(2)
 	}
 	name := flag.Arg(0)
-	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Workers: *workers}
 
 	var w io.Writer = os.Stdout
 	if *out != "" {

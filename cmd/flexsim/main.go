@@ -36,6 +36,7 @@ func main() {
 	rho := flag.Float64("rho", 0, "AP-side antenna correlation for flat channels")
 	soft := flag.Bool("soft", false, "soft-decision decoding (flexcore/aflexcore only)")
 	pilots := flag.Int("pilots", 0, "LS channel estimation from this many pilot symbols (0 = genie CSI)")
+	workers := flag.Int("workers", 1, "packet-level simulation parallelism (0 = all cores); results are identical for any value")
 	flag.Parse()
 
 	cons, err := constellation.New(*qam)
@@ -66,7 +67,7 @@ func main() {
 		fatal(fmt.Errorf("unknown channel model %q", *channelKind))
 	}
 
-	res, err := phy.Run(phy.SimConfig{
+	cfg := phy.SimConfig{
 		Link:         link,
 		SNRdB:        *snr,
 		Packets:      *packets,
@@ -75,7 +76,22 @@ func main() {
 		Channels:     channels,
 		Soft:         *soft,
 		PilotSymbols: *pilots,
-	})
+	}
+	if *workers != 1 {
+		// Parallel runs use one detector per worker; the flag-built
+		// instance then only serves the Name/OpCount report below.
+		cfg.Detector = nil
+		cfg.Workers = *workers
+		name, q := strings.ToLower(*detName), *npe
+		cfg.DetectorFactory = func() detector.Detector {
+			d, err := makeDetector(name, cons, q)
+			if err != nil {
+				fatal(err)
+			}
+			return d
+		}
+	}
+	res, err := phy.Run(cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -88,8 +104,10 @@ func main() {
 	if res.AvgActivePEs > 0 {
 		fmt.Printf("active PEs    %.1f\n", res.AvgActivePEs)
 	}
-	ops := det.OpCount().PerDetection()
-	fmt.Printf("per detection %d real muls, %d FLOPs, %d nodes\n", ops.RealMuls, ops.FLOPs, ops.Nodes)
+	if *workers == 1 {
+		ops := det.OpCount().PerDetection()
+		fmt.Printf("per detection %d real muls, %d FLOPs, %d nodes\n", ops.RealMuls, ops.FLOPs, ops.Nodes)
+	}
 }
 
 func makeDetector(name string, cons *constellation.Constellation, npe int) (detector.Detector, error) {

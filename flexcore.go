@@ -52,6 +52,17 @@ func MustConstellation(m int) *Constellation { return constellation.MustNew(m) }
 // library implements: Prepare once per channel, Detect once per vector.
 type Detector = detector.Detector
 
+// BatchDetector is a Detector with an amortised burst entry point:
+// DetectBatch detects a whole slice of received vectors (e.g. every OFDM
+// symbol of a packet on one subcarrier) in one call. FlexCore implements
+// it natively (fanning vectors across its persistent worker pool); wrap
+// any other detector with AsBatchDetector.
+type BatchDetector = detector.BatchDetector
+
+// AsBatchDetector returns d's native batch implementation when it has
+// one, or a sequential loop adapter otherwise.
+func AsBatchDetector(d Detector) BatchDetector { return detector.Batch(d) }
+
 // OpCount carries instrumentation counters (real multiplications, FLOPs,
 // visited nodes) in the units the paper reports.
 type OpCount = detector.OpCount

@@ -21,6 +21,29 @@ func NewRNG(seed uint64) *rand.Rand {
 	return rand.New(rand.NewPCG(seed, seed^0xda3e39cb94b95bdb))
 }
 
+// SplitSeed derives the seed of an independent sub-stream from a base
+// seed via a SplitMix64 finalising step. Parallel Monte-Carlo runs give
+// every work unit (e.g. every simulated packet) its own RNG stream
+// derived this way, so the random draws a unit sees depend only on
+// (seed, stream) — never on how units are scheduled across workers —
+// which is what makes parallel simulation results bit-identical for any
+// worker count.
+func SplitSeed(seed, stream uint64) uint64 {
+	z := seed + (stream+1)*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// NewStreamRNG returns the deterministic RNG of sub-stream `stream` of a
+// base seed (see SplitSeed).
+func NewStreamRNG(seed, stream uint64) *rand.Rand {
+	return NewRNG(SplitSeed(seed, stream))
+}
+
 // CN draws a circularly-symmetric complex Gaussian sample with the given
 // variance (E|x|² = variance).
 func CN(rng *rand.Rand, variance float64) complex128 {

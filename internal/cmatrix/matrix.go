@@ -100,10 +100,18 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 
 // MulVec returns the matrix-vector product m·x.
 func (m *Matrix) MulVec(x []complex128) []complex128 {
+	return m.MulVecInto(x, make([]complex128, m.Rows))
+}
+
+// MulVecInto computes m·x into y (len m.Rows) and returns y; the scratch
+// variant used by allocation-free hot paths.
+func (m *Matrix) MulVecInto(x, y []complex128) []complex128 {
 	if m.Cols != len(x) {
 		panic(fmt.Sprintf("cmatrix: MulVec dimension mismatch %d×%d · %d", m.Rows, m.Cols, len(x)))
 	}
-	y := make([]complex128, m.Rows)
+	if len(y) != m.Rows {
+		panic(fmt.Sprintf("cmatrix: MulVecInto output length %d, want %d", len(y), m.Rows))
+	}
 	for i := 0; i < m.Rows; i++ {
 		row := m.Data[i*m.Cols : (i+1)*m.Cols]
 		var s complex128
@@ -117,10 +125,20 @@ func (m *Matrix) MulVec(x []complex128) []complex128 {
 
 // MulHVec returns mᴴ·x without forming the transpose.
 func (m *Matrix) MulHVec(x []complex128) []complex128 {
+	return m.MulHVecInto(x, make([]complex128, m.Cols))
+}
+
+// MulHVecInto computes mᴴ·x into y (len m.Cols) and returns y.
+func (m *Matrix) MulHVecInto(x, y []complex128) []complex128 {
 	if m.Rows != len(x) {
 		panic(fmt.Sprintf("cmatrix: MulHVec dimension mismatch %d×%d ᴴ· %d", m.Rows, m.Cols, len(x)))
 	}
-	y := make([]complex128, m.Cols)
+	if len(y) != m.Cols {
+		panic(fmt.Sprintf("cmatrix: MulHVecInto output length %d, want %d", len(y), m.Cols))
+	}
+	for i := range y {
+		y[i] = 0
+	}
 	for i := 0; i < m.Rows; i++ {
 		xi := x[i]
 		row := m.Data[i*m.Cols : (i+1)*m.Cols]

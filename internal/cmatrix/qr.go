@@ -29,7 +29,12 @@ func (qr *QRResult) Unpermute(x []complex128) []complex128 {
 // UnpermuteInts scatters an int-valued per-stream result back to original
 // column order (used for symbol indices).
 func (qr *QRResult) UnpermuteInts(x []int) []int {
-	out := make([]int, len(x))
+	return qr.UnpermuteIntsInto(x, make([]int, len(x)))
+}
+
+// UnpermuteIntsInto is UnpermuteInts into a caller-owned buffer (len ≥
+// len(Perm)); the scratch variant used by allocation-free hot paths.
+func (qr *QRResult) UnpermuteIntsInto(x, out []int) []int {
 	for k, src := range qr.Perm {
 		out[src] = x[k]
 	}
@@ -39,6 +44,11 @@ func (qr *QRResult) UnpermuteInts(x []int) []int {
 // Ybar returns ȳ = Qᴴ·y, the rotated receive vector used by tree-search
 // detectors.
 func (qr *QRResult) Ybar(y []complex128) []complex128 { return qr.Q.MulHVec(y) }
+
+// YbarInto computes ȳ = Qᴴ·y into a caller-owned buffer of length Q.Cols.
+func (qr *QRResult) YbarInto(y, out []complex128) []complex128 {
+	return qr.Q.MulHVecInto(y, out)
+}
 
 // QR computes the thin Householder QR decomposition of h (Rows ≥ Cols)
 // with identity permutation. Householder reflections give the best

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"flexcore/internal/channel"
+	"flexcore/internal/constellation"
+	"flexcore/internal/detector"
+)
+
+// Compile-time check: FlexCore implements the batch interface natively.
+var _ detector.BatchDetector = (*FlexCore)(nil)
+
+// makeBurst builds one prepared detector plus a burst of noisy received
+// vectors with their transmitted symbols.
+func makeBurst(t testing.TB, opts Options, nt, vectors int, seed uint64) (*FlexCore, [][]complex128, [][]int) {
+	t.Helper()
+	rng := newRng(seed)
+	cons := constellation.MustNew(16)
+	fc := New(cons, opts)
+	sigma2 := channel.Sigma2FromSNRdB(14, 1)
+	h := channel.Rayleigh(rng, nt, nt)
+	if err := fc.Prepare(h, sigma2); err != nil {
+		t.Fatal(err)
+	}
+	ys := make([][]complex128, vectors)
+	sent := make([][]int, vectors)
+	for v := range ys {
+		sent[v] = randSymbols(rng, cons, nt)
+		ys[v] = transmit(rng, h, cons, sent[v], sigma2)
+	}
+	return fc, ys, sent
+}
+
+func TestDetectBatchMatchesDetect(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		fc, ys, _ := makeBurst(t, Options{NPE: 32, Workers: workers}, 8, 12, 301)
+		defer fc.Close()
+		want := make([][]int, len(ys))
+		for v, y := range ys {
+			want[v] = append([]int(nil), fc.Detect(y)...)
+		}
+		got := fc.DetectBatch(ys)
+		if len(got) != len(ys) {
+			t.Fatalf("workers=%d: %d results for %d vectors", workers, len(got), len(ys))
+		}
+		for v := range got {
+			if !equalInts(got[v], want[v]) {
+				t.Fatalf("workers=%d vector %d: batch %v, loop %v", workers, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestDetectBatchEmptyAndSingle(t *testing.T) {
+	fc, ys, _ := makeBurst(t, Options{NPE: 16, Workers: 4}, 6, 1, 302)
+	defer fc.Close()
+	if got := fc.DetectBatch(nil); len(got) != 0 {
+		t.Fatalf("nil burst returned %d results", len(got))
+	}
+	// A one-vector burst must not need the pool (batch fan-out is over
+	// vectors, and one vector short-circuits to the sequential kernel).
+	got := append([]int(nil), fc.DetectBatch(ys[:1])[0]...)
+	if fc.pool != nil {
+		t.Fatal("one-vector burst spun up the worker pool")
+	}
+	want := fc.Detect(ys[0])
+	if !equalInts(got, want) {
+		t.Fatalf("single-vector burst: got %v want %v", got, want)
+	}
+}
+
+func TestDetectBatchConcurrentInstances(t *testing.T) {
+	// Separate instances must be independently usable from separate
+	// goroutines (the simulator's per-worker-detector contract); run
+	// under -race.
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			fc, ys, _ := makeBurst(t, Options{NPE: 24, Workers: 2}, 6, 8, 303+uint64(g))
+			defer fc.Close()
+			for i := 0; i < 20; i++ {
+				if got := fc.DetectBatch(ys); len(got) != len(ys) {
+					t.Errorf("goroutine %d: %d results", g, len(got))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestDetectSteadyStateAllocFree(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		fc, ys, _ := makeBurst(t, Options{NPE: 32, Workers: workers}, 8, 4, 304)
+		fc.Detect(ys[0]) // warm the scratch (and the pool, if any)
+		if n := testing.AllocsPerRun(50, func() { fc.Detect(ys[1]) }); n != 0 {
+			t.Errorf("Detect workers=%d: %.1f allocs/op in steady state", workers, n)
+		}
+		fc.DetectBatch(ys)
+		if n := testing.AllocsPerRun(50, func() { fc.DetectBatch(ys) }); n != 0 {
+			t.Errorf("DetectBatch workers=%d: %.1f allocs/op in steady state", workers, n)
+		}
+		fc.Close()
+	}
+}
+
+func TestCloseIsRestartable(t *testing.T) {
+	fc, ys, _ := makeBurst(t, Options{NPE: 32, Workers: 4}, 8, 6, 305)
+	want := append([]int(nil), fc.Detect(ys[0])...)
+	if fc.pool == nil {
+		t.Fatal("parallel Detect did not start the pool")
+	}
+	fc.Close()
+	if fc.pool != nil {
+		t.Fatal("Close left the pool attached")
+	}
+	fc.Close() // double Close is a no-op
+	if got := fc.Detect(ys[0]); !equalInts(got, want) {
+		t.Fatalf("after Close: got %v want %v", got, want)
+	}
+	if fc.pool == nil {
+		t.Fatal("Detect after Close did not restart the pool")
+	}
+	fc.Close()
+}
+
+func TestBatchLoopAdapter(t *testing.T) {
+	// The generic adapter must equal per-vector Detect for a detector
+	// without a native batch path.
+	rng := newRng(306)
+	cons := constellation.MustNew(16)
+	mmse := detector.NewMMSE(cons)
+	b := detector.Batch(mmse)
+	if _, native := detector.Detector(b).(*FlexCore); native {
+		t.Fatal("adapter expected")
+	}
+	sigma2 := channel.Sigma2FromSNRdB(14, 1)
+	h := channel.Rayleigh(rng, 6, 6)
+	if err := b.Prepare(h, sigma2); err != nil {
+		t.Fatal(err)
+	}
+	ys := make([][]complex128, 5)
+	for v := range ys {
+		ys[v] = transmit(rng, h, cons, randSymbols(rng, cons, 6), sigma2)
+	}
+	want := make([][]int, len(ys))
+	for v, y := range ys {
+		want[v] = append([]int(nil), mmse.Detect(y)...)
+	}
+	for v, got := range b.DetectBatch(ys) {
+		if !equalInts(got, want[v]) {
+			t.Fatalf("vector %d: %v want %v", v, got, want[v])
+		}
+	}
+	// Batch on a native implementation returns it unchanged.
+	fc := New(cons, Options{NPE: 8})
+	if detector.Batch(fc) != detector.BatchDetector(fc) {
+		t.Fatal("Batch re-wrapped a native BatchDetector")
+	}
+}

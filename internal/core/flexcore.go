@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"flexcore/internal/cmatrix"
 	"flexcore/internal/constellation"
@@ -37,7 +36,13 @@ type Options struct {
 }
 
 // FlexCore is the paper's detector: channel-aware path pre-selection plus
-// fully parallel per-path evaluation. It implements detector.Detector.
+// fully parallel per-path evaluation. It implements detector.Detector and
+// detector.BatchDetector.
+//
+// A FlexCore instance is not safe for concurrent use; run one instance
+// per goroutine (they are cheap — all scratch is lazily grown and
+// reused). With Workers > 1 the instance owns a persistent goroutine
+// pool; call Close to release it when the detector is long-lived no more.
 type FlexCore struct {
 	cons *constellation.Constellation
 	opts Options
@@ -49,6 +54,21 @@ type FlexCore struct {
 	ops    detector.OpCount
 	ppOps  PreprocessStats
 	fallbk int64 // detections resolved by the clamped-SIC fallback
+
+	// Steady-state scratch, grown in Prepare and reused across
+	// Detect/DetectBatch calls so the hot path is allocation-free.
+	ybar []complex128 // rotated received vector
+	idx  []int        // per-path candidate scratch
+	sym  []complex128 // per-path symbol scratch
+	best []int        // current best path (factored order)
+	out  []int        // unpermuted result handed to the caller
+
+	// Batch result arena: one flat buffer re-sliced into per-vector
+	// headers each DetectBatch call.
+	batchBuf []int
+	batchHdr [][]int
+
+	pool *pool // persistent workers, started on first parallel use
 }
 
 // New returns a FlexCore detector. NPE must be ≥ 1.
@@ -79,6 +99,7 @@ func (d *FlexCore) Prepare(h *cmatrix.Matrix, sigma2 float64) error {
 	}
 	d.qr = cmatrix.SortedQR(h, d.opts.Ordering)
 	d.n = h.Cols
+	d.ensureScratch()
 	d.model = NewModel(d.qr.R, sigma2, d.cons)
 	var stats PreprocessStats
 	d.paths, stats = FindPaths(d.model, d.opts.NPE, d.opts.Threshold)
@@ -106,34 +127,45 @@ func (d *FlexCore) PreprocessStats() PreprocessStats { return d.ppOps }
 // clamped-SIC fallback because every selected path deactivated.
 func (d *FlexCore) FallbackDetections() int64 { return d.fallbk }
 
-// pathResult is one processing element's output (Fig. 2).
-type pathResult struct {
-	idx []int
-	ped float64
-	ok  bool
+// ensureScratch grows the detector-owned scratch to the current stream
+// count; it only allocates when n grows, keeping Detect allocation-free
+// in steady state.
+func (d *FlexCore) ensureScratch() {
+	if cap(d.idx) < d.n {
+		d.idx = make([]int, d.n)
+		d.sym = make([]complex128, d.n)
+		d.best = make([]int, d.n)
+		d.out = make([]int, d.n)
+		d.ybar = make([]complex128, d.n)
+	}
+	d.idx = d.idx[:d.n]
+	d.sym = d.sym[:d.n]
+	d.best = d.best[:d.n]
+	d.out = d.out[:d.n]
+	d.ybar = d.ybar[:d.n]
 }
 
 // evalPath walks one tree path: at each level it cancels the decided
 // interference, forms the effective received point (Eq. 5) and picks the
-// rank[i]-th closest symbol through the predefined ordering. A candidate
-// outside the constellation saturates the slicer per axis (default) or
-// deactivates the whole path (StrictDeactivation, the paper's literal
-// §3.2 wording).
-func (d *FlexCore) evalPath(ybar []complex128, ranks []int, idx []int, sym []complex128) pathResult {
-	ped := 0.0
+// rank[i]-th closest symbol through the predefined ordering, writing the
+// candidate into idx/sym. A candidate outside the constellation
+// saturates the slicer per axis (default) or deactivates the whole path
+// (StrictDeactivation, the paper's literal §3.2 wording), reported by
+// ok = false.
+func (d *FlexCore) evalPath(ybar []complex128, ranks []int, idx []int, sym []complex128) (ped float64, ok bool) {
 	for i := d.n - 1; i >= 0; i-- {
 		b := cancel(d.qr.R, ybar, sym, i)
 		rii := real(d.qr.R.At(i, i))
 		if rii <= 0 {
-			return pathResult{ok: false}
+			return 0, false
 		}
 		z := b / complex(rii, 0)
 		var k int
 		if d.opts.StrictDeactivation {
-			var ok bool
-			k, ok = d.cons.KthClosest(z, ranks[i])
-			if !ok {
-				return pathResult{ok: false}
+			var kok bool
+			k, kok = d.cons.KthClosest(z, ranks[i])
+			if !kok {
+				return 0, false
 			}
 		} else {
 			k, _ = d.cons.KthClosestClamped(z, ranks[i])
@@ -145,7 +177,7 @@ func (d *FlexCore) evalPath(ybar []complex128, ranks []int, idx []int, sym []com
 		di := imag(b) - rii*imag(q)
 		ped += dr*dr + di*di
 	}
-	return pathResult{idx: idx, ped: ped, ok: true}
+	return ped, true
 }
 
 // cancel is detector.cancel re-stated locally to keep the packages
@@ -159,82 +191,160 @@ func cancel(r *cmatrix.Matrix, ybar, sym []complex128, i int) complex128 {
 	return b
 }
 
+// countDetections accumulates the operation counters for detecting
+// `vectors` received vectors of length ylen under the current Prepare.
+func (d *FlexCore) countDetections(vectors, ylen int) {
+	d.ops.Detections += int64(vectors)
+	// ȳ rotation plus per-path cost: Σ_i [4(n−1−i) + 4 + 2] real muls.
+	perPath := int64(2*d.n*(d.n-1) + 6*d.n)
+	muls := (int64(4*ylen*d.n) + perPath*int64(len(d.paths))) * int64(vectors)
+	d.ops.RealMuls += muls
+	d.ops.FLOPs += 2 * muls
+	d.ops.Nodes += int64(len(d.paths)*d.n) * int64(vectors)
+}
+
 // Detect implements detector.Detector: it evaluates every selected path
 // (one per processing element) and returns the path with the minimum
 // Euclidean distance, falling back to a clamped SIC pass when every path
-// deactivates.
+// deactivates. The returned slice is owned by the detector and valid
+// until its next Detect/DetectBatch call; copy it to retain.
 func (d *FlexCore) Detect(y []complex128) []int {
-	ybar := d.qr.Ybar(y)
-	d.ops.Detections++
-	// ȳ rotation plus per-path cost: Σ_i [4(n−1−i) + 4 + 2] real muls.
-	perPath := int64(2*d.n*(d.n-1) + 6*d.n)
-	muls := int64(4*len(y)*d.n) + perPath*int64(len(d.paths))
-	d.ops.RealMuls += muls
-	d.ops.FLOPs += 2 * muls
-	d.ops.Nodes += int64(len(d.paths) * d.n)
-
-	var best pathResult
-	best.ped = math.Inf(1)
-	if d.opts.Workers > 1 {
-		best = d.detectParallel(ybar)
-	} else {
-		idx := make([]int, d.n)
-		sym := make([]complex128, d.n)
-		for _, p := range d.paths {
-			r := d.evalPath(ybar, p.Ranks, idx, sym)
-			if r.ok && r.ped < best.ped {
-				best = pathResult{idx: append([]int(nil), r.idx...), ped: r.ped, ok: true}
-			}
+	d.countDetections(1, len(y))
+	// One or zero paths gain nothing from fan-out: take the sequential
+	// route before touching the pool.
+	if d.opts.Workers > 1 && len(d.paths) > 1 {
+		ybar := d.qr.YbarInto(y, d.ybar)
+		if !d.detectParallel(ybar) {
+			d.fallbk++
+			d.clampedSICInto(ybar, d.idx, d.sym)
+			return d.qr.UnpermuteIntsInto(d.idx, d.out)
 		}
+		return d.qr.UnpermuteIntsInto(d.best, d.out)
 	}
-	if !best.ok {
+	if d.detectOne(y, d.ybar, d.idx, d.sym, d.best, d.out) {
 		d.fallbk++
-		return d.qr.UnpermuteInts(d.clampedSIC(ybar))
 	}
-	return d.qr.UnpermuteInts(best.idx)
+	return d.out
 }
 
-// detectParallel fans the paths out over a worker pool; each worker keeps
-// its own scratch and local minimum, merged at the end — the software
-// analogue of Fig. 2's per-processing-element pipeline plus minimum tree.
-func (d *FlexCore) detectParallel(ybar []complex128) pathResult {
-	workers := d.opts.Workers
-	if workers > len(d.paths) {
-		workers = len(d.paths)
+// DetectBatch implements detector.BatchDetector: it detects a whole
+// burst of received vectors under the current Prepare, fanning vectors
+// (not paths) across the persistent workers so the pool wake-up cost is
+// paid once per burst. Results live in a reused arena, valid until the
+// next Detect/DetectBatch call. With Workers ≤ 1 the burst is processed
+// sequentially with the same scratch reuse.
+func (d *FlexCore) DetectBatch(ys [][]complex128) [][]int {
+	if len(ys) == 0 {
+		return nil
 	}
-	results := make([]pathResult, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			idx := make([]int, d.n)
-			sym := make([]complex128, d.n)
-			local := pathResult{ped: math.Inf(1)}
-			for p := w; p < len(d.paths); p += workers {
-				r := d.evalPath(ybar, d.paths[p].Ranks, idx, sym)
-				if r.ok && r.ped < local.ped {
-					local = pathResult{idx: append([]int(nil), r.idx...), ped: r.ped, ok: true}
-				}
-			}
-			results[w] = local
-		}(w)
+	d.countDetections(len(ys), len(ys[0]))
+	out := d.batchSlots(len(ys))
+	if d.opts.Workers > 1 && len(ys) > 1 && len(d.paths) > 0 {
+		p := d.ensurePool()
+		p.kind = jobBatch
+		p.ys, p.out = ys, out
+		p.dispatch()
+		p.ys, p.out = nil, nil
+		for _, w := range p.workers {
+			d.fallbk += w.fallbk
+		}
+		return out
 	}
-	wg.Wait()
-	best := pathResult{ped: math.Inf(1)}
-	for _, r := range results {
-		if r.ok && r.ped < best.ped {
-			best = r
+	for i, y := range ys {
+		if d.detectOne(y, d.ybar, d.idx, d.sym, d.best, out[i]) {
+			d.fallbk++
 		}
 	}
-	return best
+	return out
 }
 
-// clampedSIC is the deactivation fallback: a rank-one descent using the
-// exact slicer (which clamps to the constellation and never deactivates).
-func (d *FlexCore) clampedSIC(ybar []complex128) []int {
-	idx := make([]int, d.n)
-	sym := make([]complex128, d.n)
+// batchSlots re-slices the batch arena into m result slots of n streams.
+func (d *FlexCore) batchSlots(m int) [][]int {
+	if cap(d.batchHdr) < m {
+		d.batchHdr = make([][]int, m)
+	}
+	d.batchHdr = d.batchHdr[:m]
+	if len(d.batchBuf) < m*d.n {
+		d.batchBuf = make([]int, m*d.n)
+	}
+	for i := 0; i < m; i++ {
+		d.batchHdr[i] = d.batchBuf[i*d.n : (i+1)*d.n : (i+1)*d.n]
+	}
+	return d.batchHdr
+}
+
+// detectOne runs one full detection with caller-owned scratch (ybar,
+// idx, sym, best of length ≥ n) and writes the unpermuted result into
+// out. It reports whether the clamped-SIC fallback resolved the vector.
+// It is the sequential per-vector kernel shared by Detect, the
+// sequential DetectBatch route and the pool's batch workers.
+func (d *FlexCore) detectOne(y []complex128, ybar []complex128, idx []int, sym []complex128, best, out []int) bool {
+	yb := d.qr.YbarInto(y, ybar)
+	bestPed := math.Inf(1)
+	found := false
+	for _, p := range d.paths {
+		ped, ok := d.evalPath(yb, p.Ranks, idx, sym)
+		if ok && ped < bestPed {
+			bestPed, found = ped, true
+			copy(best, idx)
+		}
+	}
+	if !found {
+		d.clampedSICInto(yb, idx, sym)
+		d.qr.UnpermuteIntsInto(idx, out)
+		return true
+	}
+	d.qr.UnpermuteIntsInto(best, out)
+	return false
+}
+
+// detectParallel fans the paths out over the persistent worker pool;
+// each worker keeps its own scratch and local minimum, merged here — the
+// software analogue of Fig. 2's per-processing-element pipeline plus
+// minimum tree. The winning path lands in d.best; the return value
+// reports whether any path survived.
+func (d *FlexCore) detectParallel(ybar []complex128) bool {
+	p := d.ensurePool()
+	p.kind = jobPaths
+	p.ybar = ybar
+	p.dispatch()
+	bestPed := math.Inf(1)
+	var winner *poolWorker
+	for _, w := range p.workers {
+		if w.ok && w.ped < bestPed {
+			bestPed = w.ped
+			winner = w
+		}
+	}
+	if winner == nil {
+		return false
+	}
+	copy(d.best, winner.best)
+	return true
+}
+
+// ensurePool lazily starts the persistent workers (first parallel use).
+func (d *FlexCore) ensurePool() *pool {
+	if d.pool == nil {
+		d.pool = newPool(d, d.opts.Workers)
+	}
+	return d.pool
+}
+
+// Close releases the persistent worker pool (a no-op for sequential
+// detectors). The detector remains usable afterwards: the pool restarts
+// on the next parallel call.
+func (d *FlexCore) Close() {
+	if d.pool != nil {
+		d.pool.stop()
+		d.pool = nil
+	}
+}
+
+// clampedSICInto is the deactivation fallback: a rank-one descent using
+// the exact slicer (which clamps to the constellation and never
+// deactivates), written into caller-owned idx/sym scratch.
+func (d *FlexCore) clampedSICInto(ybar []complex128, idx []int, sym []complex128) []int {
 	for i := d.n - 1; i >= 0; i-- {
 		b := cancel(d.qr.R, ybar, sym, i)
 		rii := real(d.qr.R.At(i, i))

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math"
+	"sync"
+)
+
+// jobKind selects what the persistent workers execute for one dispatch.
+type jobKind int
+
+const (
+	// jobPaths fans the selected paths of a single received vector
+	// across the workers (Fig. 2's per-processing-element pipeline).
+	jobPaths jobKind = iota
+	// jobBatch fans whole received vectors of a DetectBatch burst across
+	// the workers; each worker evaluates every path of its vectors.
+	jobBatch
+)
+
+// pool is the persistent goroutine pool a FlexCore detector with
+// Workers > 1 keeps across Detect/DetectBatch calls — the software
+// analogue of the paper's always-resident processing elements. Workers
+// block on their start channels between jobs; the dispatching goroutine
+// publishes the job parameters on the pool, wakes every worker, and
+// waits on wg. The start-channel send and the wg.Wait establish the
+// happens-before edges that make the shared job fields safe without
+// locks, and all per-job scratch lives on the workers themselves, so a
+// steady-state dispatch performs no allocation.
+type pool struct {
+	d       *FlexCore
+	workers []*poolWorker
+	wg      sync.WaitGroup
+
+	// Job parameters: written by the dispatcher before the wake-up,
+	// read back (worker results) after wg.Wait().
+	kind jobKind
+	ybar []complex128   // jobPaths: rotated received vector
+	ys   [][]complex128 // jobBatch: burst of received vectors
+	out  [][]int        // jobBatch: arena-backed result slots
+}
+
+// poolWorker is one resident worker: a wake-up channel plus worker-owned
+// scratch, grown only when the prepared stream count grows.
+type poolWorker struct {
+	id    int
+	start chan struct{}
+
+	idx  []int        // per-path candidate scratch
+	sym  []complex128 // per-path symbol scratch
+	best []int        // local best path (jobPaths) / per-vector best (jobBatch)
+	ybar []complex128 // jobBatch: per-worker rotated vector
+
+	ped    float64 // jobPaths: local minimum PED
+	ok     bool    // jobPaths: local minimum exists
+	fallbk int64   // jobBatch: fallback detections in the last job
+}
+
+// newPool starts workers resident goroutines for detector d.
+func newPool(d *FlexCore, workers int) *pool {
+	p := &pool{d: d, workers: make([]*poolWorker, workers)}
+	for i := range p.workers {
+		w := &poolWorker{id: i, start: make(chan struct{}, 1)}
+		p.workers[i] = w
+		go p.run(w)
+	}
+	return p
+}
+
+// dispatch wakes every worker for the job currently described by the
+// pool's fields and blocks until all of them finish.
+func (p *pool) dispatch() {
+	p.wg.Add(len(p.workers))
+	for _, w := range p.workers {
+		w.start <- struct{}{}
+	}
+	p.wg.Wait()
+}
+
+// stop terminates the resident workers; the pool must not be dispatched
+// again afterwards.
+func (p *pool) stop() {
+	for _, w := range p.workers {
+		close(w.start)
+	}
+}
+
+// run is the worker main loop.
+func (p *pool) run(w *poolWorker) {
+	for range w.start {
+		w.ensure(p.d)
+		switch p.kind {
+		case jobPaths:
+			p.runPaths(w)
+		case jobBatch:
+			p.runBatch(w)
+		}
+		p.wg.Done()
+	}
+}
+
+// ensure grows the worker scratch to the detector's current stream
+// count. It runs on the worker goroutine after the wake-up (so it is
+// ordered after Prepare) and only allocates when n grows.
+func (w *poolWorker) ensure(d *FlexCore) {
+	if cap(w.idx) < d.n {
+		w.idx = make([]int, d.n)
+		w.sym = make([]complex128, d.n)
+		w.best = make([]int, d.n)
+		w.ybar = make([]complex128, d.n)
+	}
+	w.idx = w.idx[:d.n]
+	w.sym = w.sym[:d.n]
+	w.best = w.best[:d.n]
+	w.ybar = w.ybar[:d.n]
+}
+
+// runPaths evaluates the worker's stride of the selected paths against
+// the shared rotated vector, keeping a local minimum (merged by the
+// dispatcher — the minimum tree of Fig. 2).
+func (p *pool) runPaths(w *poolWorker) {
+	d := p.d
+	w.ped = math.Inf(1)
+	w.ok = false
+	stride := len(p.workers)
+	for i := w.id; i < len(d.paths); i += stride {
+		ped, ok := d.evalPath(p.ybar, d.paths[i].Ranks, w.idx, w.sym)
+		if ok && ped < w.ped {
+			w.ped, w.ok = ped, true
+			copy(w.best, w.idx)
+		}
+	}
+}
+
+// runBatch fully detects the worker's stride of the burst's vectors,
+// writing unpermuted results straight into the shared arena slots.
+func (p *pool) runBatch(w *poolWorker) {
+	d := p.d
+	w.fallbk = 0
+	stride := len(p.workers)
+	for i := w.id; i < len(p.ys); i += stride {
+		if d.detectOne(p.ys[i], w.ybar, w.idx, w.sym, w.best, p.out[i]) {
+			w.fallbk++
+		}
+	}
+}

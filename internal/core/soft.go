@@ -20,12 +20,7 @@ const maxLLR = 8.0
 // llrs[u][b] is bit b of stream u (original stream order).
 func (d *FlexCore) DetectSoft(y []complex128, sigma2 float64) (best []int, llrs [][]float64) {
 	ybar := d.qr.Ybar(y)
-	d.ops.Detections++
-	perPath := int64(2*d.n*(d.n-1) + 6*d.n)
-	muls := int64(4*len(y)*d.n) + perPath*int64(len(d.paths))
-	d.ops.RealMuls += muls
-	d.ops.FLOPs += 2 * muls
-	d.ops.Nodes += int64(len(d.paths) * d.n)
+	d.countDetections(1, len(y))
 	bits := d.cons.BitsPerSymbol()
 
 	type candidate struct {
@@ -36,15 +31,15 @@ func (d *FlexCore) DetectSoft(y []complex128, sigma2 float64) (best []int, llrs 
 	idx := make([]int, d.n)
 	sym := make([]complex128, d.n)
 	for _, p := range d.paths {
-		r := d.evalPath(ybar, p.Ranks, idx, sym)
-		if r.ok {
-			cands = append(cands, candidate{idx: append([]int(nil), r.idx...), ped: r.ped})
+		ped, ok := d.evalPath(ybar, p.Ranks, idx, sym)
+		if ok {
+			cands = append(cands, candidate{idx: append([]int(nil), idx...), ped: ped})
 		}
 	}
 	if len(cands) == 0 {
 		// Degenerate: fall back to the clamped SIC path with saturated
 		// confidence.
-		sic := d.clampedSIC(ybar)
+		sic := d.clampedSICInto(ybar, make([]int, d.n), make([]complex128, d.n))
 		cands = append(cands, candidate{idx: sic, ped: 0})
 	}
 

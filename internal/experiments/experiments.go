@@ -17,6 +17,10 @@ type Config struct {
 	Quick bool
 	// Seed drives all randomness (experiments are fully deterministic).
 	Seed uint64
+	// Workers is the packet-level simulation parallelism of the
+	// link-level experiments (0 = all cores). Results are bit-identical
+	// for every worker count — parallelism only changes wall-clock time.
+	Workers int
 }
 
 // packets returns the per-measurement packet count.

@@ -67,6 +67,7 @@ func Fig10(cfg Config, w io.Writer) (*Table, error) {
 		Iterations: cfg.calIterations(),
 		MLMaxNodes: cfg.mlMaxNodesFor(link12),
 		Channels:   &phy.TraceProvider{Set: traces},
+		Workers:    cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -87,31 +88,38 @@ func Fig10(cfg Config, w io.Writer) (*Table, error) {
 		}
 		provider := &phy.TraceProvider{Set: sub}
 		link := linkFor(users)
-		run := func(det detector.Detector) (float64, float64, error) {
+		run := func(newDet func() detector.Detector) (float64, float64, error) {
 			res, err := phy.Run(phy.SimConfig{
 				Link: link, SNRdB: snr, Packets: cfg.packets(),
-				Seed: cfg.Seed + uint64(users), Detector: det, Channels: provider,
+				Seed: cfg.Seed + uint64(users), DetectorFactory: newDet,
+				Workers: cfg.Workers, Channels: provider,
 			})
 			if err != nil {
 				return 0, 0, err
 			}
 			return res.ThroughputBps / 1e6, res.AvgActivePEs, nil
 		}
-		ml := detector.NewSphere(cons)
-		ml.MaxNodes = cfg.mlMaxNodesFor(link)
-		mlT, _, err := run(ml)
+		mlT, _, err := run(func() detector.Detector {
+			ml := detector.NewSphere(cons)
+			ml.MaxNodes = cfg.mlMaxNodesFor(link)
+			return ml
+		})
 		if err != nil {
 			return nil, err
 		}
-		fcT, _, err := run(core.New(cons, core.Options{NPE: 64}))
+		fcT, _, err := run(func() detector.Detector {
+			return core.New(cons, core.Options{NPE: 64})
+		})
 		if err != nil {
 			return nil, err
 		}
-		afT, active, err := run(core.New(cons, core.Options{NPE: 64, Threshold: 0.95}))
+		afT, active, err := run(func() detector.Detector {
+			return core.New(cons, core.Options{NPE: 64, Threshold: 0.95})
+		})
 		if err != nil {
 			return nil, err
 		}
-		mmseT, _, err := run(detector.NewMMSE(cons))
+		mmseT, _, err := run(func() detector.Detector { return detector.NewMMSE(cons) })
 		if err != nil {
 			return nil, err
 		}

@@ -48,6 +48,7 @@ func Fig12(cfg Config, w io.Writer) ([]*Table, error) {
 					Iterations:  cfg.calIterations(),
 					NewDetector: mk,
 					Channels:    cfg.flatProvider(link, seed),
+					Workers:     cfg.Workers,
 				})
 				return snr, err
 			}

@@ -99,19 +99,22 @@ func (c Config) calibrate(link phy.LinkConfig, targetPER float64, seed uint64) (
 		Iterations: c.calIterations(),
 		MLMaxNodes: c.mlMaxNodesFor(link),
 		Channels:   c.flatProvider(link, seed),
+		Workers:    c.Workers,
 	})
 }
 
 // measure runs one link-level point and returns throughput (Mbit/s), PER
-// and mean active processing elements.
-func (c Config) measure(link phy.LinkConfig, det detector.Detector, snr float64, seed uint64) (tputMbps, per, activePEs float64, err error) {
+// and mean active processing elements. newDet builds one detector per
+// simulation worker (results are bit-identical for every worker count).
+func (c Config) measure(link phy.LinkConfig, newDet func() detector.Detector, snr float64, seed uint64) (tputMbps, per, activePEs float64, err error) {
 	res, err := phy.Run(phy.SimConfig{
-		Link:     link,
-		SNRdB:    snr,
-		Packets:  c.packets(),
-		Seed:     seed,
-		Detector: det,
-		Channels: c.flatProvider(link, seed),
+		Link:            link,
+		SNRdB:           snr,
+		Packets:         c.packets(),
+		Seed:            seed,
+		DetectorFactory: newDet,
+		Workers:         c.Workers,
+		Channels:        c.flatProvider(link, seed),
 	})
 	if err != nil {
 		return 0, 0, 0, err
@@ -155,13 +158,16 @@ func Fig9(cfg Config, w io.Writer, panels []int) ([]*Table, error) {
 		}
 		cons := link.Constellation
 
-		ml := detector.NewSphere(cons)
-		ml.MaxNodes = cfg.mlMaxNodesFor(link)
-		mlT, mlPER, _, err := cfg.measure(link, ml, snr, seed)
+		newML := func() detector.Detector {
+			ml := detector.NewSphere(cons)
+			ml.MaxNodes = cfg.mlMaxNodesFor(link)
+			return ml
+		}
+		mlT, mlPER, _, err := cfg.measure(link, newML, snr, seed)
 		if err != nil {
 			return nil, err
 		}
-		mmseT, _, _, err := cfg.measure(link, detector.NewMMSE(cons), snr, seed)
+		mmseT, _, _, err := cfg.measure(link, func() detector.Detector { return detector.NewMMSE(cons) }, snr, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -172,20 +178,28 @@ func Fig9(cfg Config, w io.Writer, panels []int) ([]*Table, error) {
 			Header: []string{"NPE", "FlexCore (Mbit/s)", "FCSD (Mbit/s)", "Trellis[50] (Mbit/s)"},
 		}
 		for _, npe := range cfg.npeSweep(sc.qam) {
-			fcT, _, _, err := cfg.measure(link, core.New(cons, core.Options{NPE: npe}), snr, seed)
+			npe := npe
+			fcT, _, _, err := cfg.measure(link, func() detector.Detector {
+				return core.New(cons, core.Options{NPE: npe})
+			}, snr, seed)
 			if err != nil {
 				return nil, err
 			}
 			fcsdCell, trellisCell := "×", "×"
 			if l, ok := isPowerOf(npe, cons.Size()); ok && l <= sc.nt {
-				v, _, _, err := cfg.measure(link, detector.NewFCSD(cons, l), snr, seed)
+				l := l
+				v, _, _, err := cfg.measure(link, func() detector.Detector {
+					return detector.NewFCSD(cons, l)
+				}, snr, seed)
 				if err != nil {
 					return nil, err
 				}
 				fcsdCell = f1(v)
 			}
 			if npe == cons.Size() {
-				v, _, _, err := cfg.measure(link, detector.NewTrellis(cons), snr, seed)
+				v, _, _, err := cfg.measure(link, func() detector.Detector {
+					return detector.NewTrellis(cons)
+				}, snr, seed)
 				if err != nil {
 					return nil, err
 				}

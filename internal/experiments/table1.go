@@ -57,11 +57,12 @@ func Table1(cfg Config, w io.Writer) (*Table, error) {
 				Users: nt, APAntennas: nt, Constellation: cons,
 				CodeRate: coding.Rate12, Subcarriers: cfg.subcarriers(), OFDMSymbols: cfg.ofdmSymbols(),
 			},
-			SNRdB:    snrdB,
-			Packets:  cfg.packets(),
-			Seed:     cfg.Seed + uint64(nt),
-			Detector: detector.NewSphere(cons),
-			Channels: &phy.IIDProvider{Seed: cfg.Seed + uint64(nt)*7, Users: nt, APAntennas: nt, Subcarriers: cfg.subcarriers()},
+			SNRdB:           snrdB,
+			Packets:         cfg.packets(),
+			Seed:            cfg.Seed + uint64(nt),
+			DetectorFactory: func() detector.Detector { return detector.NewSphere(cons) },
+			Workers:         cfg.Workers,
+			Channels:        &phy.IIDProvider{Seed: cfg.Seed + uint64(nt)*7, Users: nt, APAntennas: nt, Subcarriers: cfg.subcarriers()},
 		})
 		if err != nil {
 			return nil, err

@@ -27,6 +27,10 @@ type CalibrationConfig struct {
 	// (default: the exact ML sphere decoder — the paper's anchor). A
 	// fresh instance is created per PER evaluation.
 	NewDetector func() detector.Detector
+	// Workers is the packet-level parallelism of each PER evaluation
+	// (see SimConfig.Workers); the bisection path is identical for every
+	// worker count because each evaluation is bit-identical.
+	Workers int
 }
 
 // CalibrateSNR bisects the (monotone) ML PER-vs-SNR curve and returns the
@@ -52,12 +56,13 @@ func CalibrateSNR(cfg CalibrationConfig) (snrdB, measuredPER float64, err error)
 	}
 	perAt := func(snr float64) (float64, error) {
 		res, err := Run(SimConfig{
-			Link:     cfg.Link,
-			SNRdB:    snr,
-			Packets:  cfg.Packets,
-			Seed:     cfg.Seed,
-			Detector: newDet(),
-			Channels: cfg.Channels,
+			Link:            cfg.Link,
+			SNRdB:           snr,
+			Packets:         cfg.Packets,
+			Seed:            cfg.Seed,
+			DetectorFactory: newDet,
+			Workers:         cfg.Workers,
+			Channels:        cfg.Channels,
 		})
 		if err != nil {
 			return 0, err

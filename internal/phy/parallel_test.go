@@ -1,0 +1,146 @@
+package phy
+
+import (
+	"testing"
+
+	"flexcore/internal/channel"
+	"flexcore/internal/core"
+	"flexcore/internal/detector"
+)
+
+// runAt runs the same simulation with a given worker count; everything
+// else is fixed so results can be compared bit for bit.
+func runAt(t *testing.T, workers int, cfg SimConfig) Result {
+	t.Helper()
+	cfg.Workers = workers
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return res
+}
+
+func TestRunParallelBitIdentical(t *testing.T) {
+	// The determinism contract: for a fixed seed, Result is the same for
+	// every worker count — PER, BER, bit errors, active-PE average, all
+	// of it. Workers beyond GOMAXPROCS still exercise the merge logic.
+	link := smallLink()
+	cfg := SimConfig{
+		Link:    link,
+		SNRdB:   8,
+		Packets: 24,
+		Seed:    601,
+		DetectorFactory: func() detector.Detector {
+			return core.New(link.Constellation, core.Options{NPE: 16, Threshold: 0.95})
+		},
+	}
+	serial := runAt(t, 1, cfg)
+	if serial.UserPackets == 0 {
+		t.Fatal("empty run")
+	}
+	for _, w := range []int{2, 8} {
+		if got := runAt(t, w, cfg); got != serial {
+			t.Fatalf("workers=%d diverged:\n  %+v\nvs\n  %+v", w, got, serial)
+		}
+	}
+}
+
+func TestRunParallelEarlyStopBitIdentical(t *testing.T) {
+	// MaxPacketErrors must stop at exactly the same packet regardless of
+	// worker count: outcomes computed speculatively past the serial stop
+	// point are discarded by the in-order merge.
+	link := smallLink()
+	cfg := SimConfig{
+		Link:    link,
+		SNRdB:   -15,
+		Packets: 1000,
+		Seed:    602,
+		DetectorFactory: func() detector.Detector {
+			return detector.NewMMSE(link.Constellation)
+		},
+		MaxPacketErrors: 10,
+	}
+	serial := runAt(t, 1, cfg)
+	if serial.UserPackets >= 1000*link.Users {
+		t.Fatal("early stop did not trigger")
+	}
+	for _, w := range []int{3, 8} {
+		if got := runAt(t, w, cfg); got != serial {
+			t.Fatalf("workers=%d early-stop diverged:\n  %+v\nvs\n  %+v", w, got, serial)
+		}
+	}
+}
+
+func TestRunParallelSoftBitIdentical(t *testing.T) {
+	link := smallLink()
+	cfg := SimConfig{
+		Link:    link,
+		SNRdB:   6,
+		Packets: 12,
+		Seed:    603,
+		Soft:    true,
+		DetectorFactory: func() detector.Detector {
+			return core.New(link.Constellation, core.Options{NPE: 16})
+		},
+	}
+	serial := runAt(t, 1, cfg)
+	if got := runAt(t, 4, cfg); got != serial {
+		t.Fatalf("soft workers=4 diverged:\n  %+v\nvs\n  %+v", got, serial)
+	}
+}
+
+func TestRunWorkersRequireFactory(t *testing.T) {
+	link := smallLink()
+	_, err := Run(SimConfig{
+		Link:     link,
+		SNRdB:    10,
+		Packets:  4,
+		Seed:     604,
+		Workers:  4,
+		Detector: detector.NewMMSE(link.Constellation),
+	})
+	if err == nil {
+		t.Fatal("Workers > 1 without a DetectorFactory accepted")
+	}
+}
+
+func TestRunFactoryServesSerialPath(t *testing.T) {
+	// A factory alone (Workers unset → all cores, possibly 1) must give
+	// the same result as the classic single-Detector configuration.
+	link := smallLink()
+	base := SimConfig{Link: link, SNRdB: 8, Packets: 8, Seed: 605}
+
+	classic := base
+	classic.Detector = detector.NewSIC(link.Constellation)
+	a, err := Run(classic)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	viaFactory := base
+	viaFactory.DetectorFactory = func() detector.Detector {
+		return detector.NewSIC(link.Constellation)
+	}
+	b, err := Run(viaFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("factory path diverged from Detector path:\n  %+v\nvs\n  %+v", b, a)
+	}
+}
+
+func TestSplitSeedStreamsAreDistinct(t *testing.T) {
+	// Neighbouring packet streams must decorrelate even for tiny seeds.
+	seen := map[uint64]bool{}
+	for stream := uint64(0); stream < 64; stream++ {
+		s := channel.SplitSeed(1, stream)
+		if seen[s] {
+			t.Fatalf("stream %d collides", stream)
+		}
+		seen[s] = true
+	}
+	if channel.SplitSeed(1, 0) == channel.SplitSeed(2, 0) {
+		t.Fatal("seeds 1 and 2 collide on stream 0")
+	}
+}

@@ -2,8 +2,13 @@ package phy
 
 import (
 	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"flexcore/internal/channel"
+	"flexcore/internal/cmatrix"
 	"flexcore/internal/coding"
 	"flexcore/internal/detector"
 	"flexcore/internal/ofdm"
@@ -31,10 +36,14 @@ type SimConfig struct {
 	Seed     uint64
 	Detector detector.Detector
 	// Channels defaults to a fresh TDLProvider over the link geometry.
+	// Custom providers must be safe for concurrent Packet calls when
+	// Workers > 1 (the built-in providers all are).
 	Channels ChannelProvider
 	// MaxPacketErrors stops the run early once this many user-packet
 	// errors are observed (0 = run all packets) — standard Monte-Carlo
-	// early termination for PER estimation.
+	// early termination for PER estimation. The stop point is determined
+	// by accumulating packets strictly in order, so it is identical for
+	// every worker count.
 	MaxPacketErrors int
 	// Soft enables soft-decision decoding: the detector must implement
 	// SoftDetector, and the receive chain feeds its LLRs to a soft
@@ -52,6 +61,19 @@ type SimConfig struct {
 	// from that many pilot OFDM symbols per packet and subcarrier (see
 	// EstimateLS); it takes precedence over EstErrorVar. 0 = genie CSI.
 	PilotSymbols int
+	// Workers is the number of packet-level simulation workers
+	// (0 = runtime.NumCPU()). Every packet draws its randomness from its
+	// own seed-split RNG stream and results are merged in packet order,
+	// so the Result is bit-identical for every worker count. Workers > 1
+	// requires DetectorFactory.
+	Workers int
+	// DetectorFactory builds one detector instance per worker (detectors
+	// are stateful across Prepare/Detect, so workers cannot share one).
+	// Required for Workers > 1; when nil the run is single-worker using
+	// Detector. When both are set, Detector serves the 1-worker path and
+	// the factory the parallel path. Factory-created detectors are
+	// closed by Run if they expose a Close method.
+	DetectorFactory func() detector.Detector
 }
 
 // Result summarises a link-level run.
@@ -71,8 +93,79 @@ type Result struct {
 	AvgActivePEs float64
 }
 
+// packetStats is the contribution of one simulated packet to a Result.
+type packetStats struct {
+	userPackets  int
+	packetErrors int
+	bitErrors    int64
+	payloadBits  int64
+	activeSum    float64
+	activeN      int
+}
+
+// accumulator folds packetStats into a Result, strictly in packet order.
+type accumulator struct {
+	res       Result
+	activeSum float64
+	activeN   int
+}
+
+// add folds one packet in and reports whether the MaxPacketErrors budget
+// has been reached (the early-stop decision point of the serial loop).
+func (a *accumulator) add(cfg *SimConfig, st packetStats) bool {
+	a.res.UserPackets += st.userPackets
+	a.res.PacketErrors += st.packetErrors
+	a.res.BitErrors += st.bitErrors
+	a.res.PayloadBits += st.payloadBits
+	a.activeSum += st.activeSum
+	a.activeN += st.activeN
+	return cfg.MaxPacketErrors > 0 && a.res.PacketErrors >= cfg.MaxPacketErrors
+}
+
+// finalize computes the derived rates.
+func (a *accumulator) finalize(cfg *SimConfig) Result {
+	res := a.res
+	res.PER = float64(res.PacketErrors) / float64(res.UserPackets)
+	res.BER = float64(res.BitErrors) / float64(res.PayloadBits)
+	res.ThroughputBps = ofdm.NetworkThroughput(cfg.Link.Users, cfg.Link.Constellation.BitsPerSymbol(), cfg.Link.CodeRate.Value(), res.PER)
+	if a.activeN > 0 {
+		res.AvgActivePEs = a.activeSum / float64(a.activeN)
+	}
+	return res
+}
+
+// effectiveWorkers resolves the worker count from the configuration.
+func (cfg *SimConfig) effectiveWorkers() (int, error) {
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if cfg.DetectorFactory == nil {
+		if cfg.Workers > 1 {
+			return 0, fmt.Errorf("phy: Workers = %d requires DetectorFactory (detectors are stateful across Prepare/Detect)", cfg.Workers)
+		}
+		w = 1
+	}
+	if w > cfg.Packets {
+		w = cfg.Packets
+	}
+	return w, nil
+}
+
+// closeDetector releases a factory-created detector's resources (e.g.
+// FlexCore's persistent worker pool) if it exposes them.
+func closeDetector(d detector.Detector) {
+	if c, ok := d.(interface{ Close() }); ok {
+		c.Close()
+	}
+}
+
 // Run simulates Packets MIMO-OFDM packets through the full chain and
-// returns PER, BER and throughput.
+// returns PER, BER and throughput. With Workers > 1 (and a
+// DetectorFactory) packets are simulated concurrently; every packet
+// draws from its own seed-split RNG stream and outcomes are merged in
+// packet order, so the Result is bit-identical for every worker count,
+// including the MaxPacketErrors early-stop point.
 func Run(cfg SimConfig) (Result, error) {
 	if err := cfg.Link.Validate(); err != nil {
 		return Result{}, err
@@ -80,11 +173,15 @@ func Run(cfg SimConfig) (Result, error) {
 	if cfg.Packets < 1 {
 		return Result{}, fmt.Errorf("phy: need at least one packet")
 	}
-	if cfg.Detector == nil {
+	if cfg.Detector == nil && cfg.DetectorFactory == nil {
 		return Result{}, fmt.Errorf("phy: detector required")
 	}
-	link := cfg.Link
+	workers, err := cfg.effectiveWorkers()
+	if err != nil {
+		return Result{}, err
+	}
 	if cfg.Channels == nil {
+		link := cfg.Link
 		sc := make([]int, link.Subcarriers)
 		idx := ofdm.DataSubcarrierIndices()
 		for i := range sc {
@@ -98,121 +195,287 @@ func Run(cfg SimConfig) (Result, error) {
 			Config:      channel.DefaultIndoorTDL,
 		}
 	}
-	il, err := coding.NewInterleaver(link.ncbps(), link.Constellation.BitsPerSymbol())
+	il, err := coding.NewInterleaver(cfg.Link.ncbps(), cfg.Link.Constellation.BitsPerSymbol())
 	if err != nil {
 		return Result{}, err
 	}
 	sigma2 := channel.Sigma2FromSNRdB(cfg.SNRdB, 1)
-	rng := channel.NewRNG(cfg.Seed)
 
-	var soft SoftDetector
-	if cfg.Soft {
-		var ok bool
-		soft, ok = cfg.Detector.(SoftDetector)
-		if !ok {
-			return Result{}, fmt.Errorf("phy: detector %s cannot produce soft outputs", cfg.Detector.Name())
-		}
+	if workers == 1 {
+		return runSerial(&cfg, il, sigma2)
 	}
+	return runParallel(&cfg, workers, il, sigma2)
+}
 
-	var res Result
-	var activeSum float64
-	var activeN int
-	rx := make([][][]int, link.Users) // [user][ofdmSym][subcarrier]
-	var rxL [][][]float64             // [user][ofdmSym][ncbps] when soft
-	for u := range rx {
-		rx[u] = make([][]int, link.OFDMSymbols)
-		for s := range rx[u] {
-			rx[u][s] = make([]int, link.Subcarriers)
-		}
+// runSerial is the 1-worker path: the same per-packet kernel and
+// accumulator as the parallel path, on the calling goroutine.
+func runSerial(cfg *SimConfig, il *coding.Interleaver, sigma2 float64) (Result, error) {
+	det := cfg.Detector
+	owned := false
+	if det == nil {
+		det = cfg.DetectorFactory()
+		owned = true
 	}
-	if cfg.Soft {
-		rxL = make([][][]float64, link.Users)
-		for u := range rxL {
-			rxL[u] = make([][]float64, link.OFDMSymbols)
-			for s := range rxL[u] {
-				rxL[u][s] = make([]float64, link.ncbps())
-			}
-		}
+	if owned {
+		defer closeDetector(det)
 	}
-	bps := link.Constellation.BitsPerSymbol()
-	x := make([]complex128, link.Users)
-
+	w, err := newSimWorker(cfg, il, sigma2, det)
+	if err != nil {
+		return Result{}, err
+	}
+	var acc accumulator
 	for pkt := 0; pkt < cfg.Packets; pkt++ {
-		hs := cfg.Channels.Packet(pkt)
-		if len(hs) != link.Subcarriers {
-			return Result{}, fmt.Errorf("phy: provider returned %d subcarriers, want %d", len(hs), link.Subcarriers)
+		st, err := w.simPacket(pkt)
+		if err != nil {
+			return Result{}, err
 		}
-		tx := make([]txPacket, link.Users)
-		for u := range tx {
-			tx[u] = link.buildTxPacket(rng, il)
-		}
-		for k := 0; k < link.Subcarriers; k++ {
-			prepH := hs[k]
-			switch {
-			case cfg.PilotSymbols > 0:
-				prepH = EstimateLS(rng, prepH, sigma2, cfg.PilotSymbols)
-			case cfg.EstErrorVar > 0:
-				est := prepH.Copy()
-				for i := range est.Data {
-					est.Data[i] += channel.CN(rng, cfg.EstErrorVar*sigma2)
-				}
-				prepH = est
-			}
-			if err := cfg.Detector.Prepare(prepH, sigma2); err != nil {
-				return Result{}, fmt.Errorf("phy: prepare subcarrier %d: %w", k, err)
-			}
-			if rep, ok := cfg.Detector.(ActivePathReporter); ok {
-				activeSum += float64(rep.ActivePaths())
-				activeN++
-			}
-			for s := 0; s < link.OFDMSymbols; s++ {
-				for u := 0; u < link.Users; u++ {
-					x[u] = link.Constellation.Point(tx[u].symbols[s][k])
-				}
-				y := hs[k].MulVec(x)
-				channel.AddAWGN(rng, y, sigma2)
-				if cfg.Soft {
-					got, llrs := soft.DetectSoft(y, sigma2)
-					for u := 0; u < link.Users; u++ {
-						rx[u][s][k] = got[u]
-						copy(rxL[u][s][k*bps:(k+1)*bps], llrs[u])
-					}
-				} else {
-					got := cfg.Detector.Detect(y)
-					for u := 0; u < link.Users; u++ {
-						rx[u][s][k] = got[u]
-					}
-				}
-			}
-		}
-		for u := 0; u < link.Users; u++ {
-			var ok bool
-			var bitErrs int
-			var err error
-			if cfg.Soft {
-				ok, bitErrs, err = link.decodeRxPacketSoft(rxL[u], tx[u], il)
-			} else {
-				ok, bitErrs, err = link.decodeRxPacket(rx[u], tx[u], il)
-			}
-			if err != nil {
-				return Result{}, err
-			}
-			res.UserPackets++
-			if !ok {
-				res.PacketErrors++
-			}
-			res.BitErrors += int64(bitErrs)
-			res.PayloadBits += int64(len(tx[u].payload))
-		}
-		if cfg.MaxPacketErrors > 0 && res.PacketErrors >= cfg.MaxPacketErrors {
+		if acc.add(cfg, st) {
 			break
 		}
 	}
-	res.PER = float64(res.PacketErrors) / float64(res.UserPackets)
-	res.BER = float64(res.BitErrors) / float64(res.PayloadBits)
-	res.ThroughputBps = ofdm.NetworkThroughput(link.Users, link.Constellation.BitsPerSymbol(), link.CodeRate.Value(), res.PER)
-	if activeN > 0 {
-		res.AvgActivePEs = activeSum / float64(activeN)
+	return acc.finalize(cfg), nil
+}
+
+// runParallel fans packets out over a bounded worker pool. Workers claim
+// packet indices from a shared counter and simulate them speculatively;
+// the merger consumes outcomes strictly in packet order, so accumulation
+// (including float summation order), the MaxPacketErrors early stop and
+// error reporting replicate the serial schedule exactly. Packets
+// computed beyond the stop point are discarded.
+func runParallel(cfg *SimConfig, workers int, il *coding.Interleaver, sigma2 float64) (Result, error) {
+	ws := make([]*simWorker, workers)
+	dets := make([]detector.Detector, workers)
+	for i := range ws {
+		det := cfg.DetectorFactory()
+		w, err := newSimWorker(cfg, il, sigma2, det)
+		if err != nil {
+			closeDetector(det)
+			for j := 0; j < i; j++ {
+				closeDetector(dets[j])
+			}
+			return Result{}, err
+		}
+		dets[i] = det
+		ws[i] = w
 	}
-	return res, nil
+	defer func() {
+		for _, det := range dets {
+			closeDetector(det)
+		}
+	}()
+
+	type outcome struct {
+		pkt   int
+		stats packetStats
+		err   error
+	}
+	results := make(chan outcome, workers)
+	var next atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for _, w := range ws {
+		wg.Add(1)
+		go func(w *simWorker) {
+			defer wg.Done()
+			for !stop.Load() {
+				pkt := int(next.Add(1)) - 1
+				if pkt >= cfg.Packets {
+					return
+				}
+				st, err := w.simPacket(pkt)
+				results <- outcome{pkt: pkt, stats: st, err: err}
+				if err != nil {
+					return
+				}
+			}
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	var acc accumulator
+	pending := make(map[int]outcome)
+	nextMerge := 0
+	done := false
+	var firstErr error
+	for out := range results {
+		pending[out.pkt] = out
+		for {
+			o, ok := pending[nextMerge]
+			if !ok {
+				break
+			}
+			delete(pending, nextMerge)
+			nextMerge++
+			if done || firstErr != nil {
+				continue // beyond the serial run's stop point: discard
+			}
+			if o.err != nil {
+				firstErr = o.err
+				stop.Store(true)
+				continue
+			}
+			if acc.add(cfg, o.stats) {
+				done = true
+				stop.Store(true)
+			}
+		}
+	}
+	if firstErr != nil {
+		return Result{}, firstErr
+	}
+	return acc.finalize(cfg), nil
+}
+
+// simWorker is the per-worker simulation state: one detector instance
+// plus every reusable buffer of the per-packet chain.
+type simWorker struct {
+	cfg    *SimConfig
+	il     *coding.Interleaver
+	sigma2 float64
+	det    detector.Detector
+	batch  detector.BatchDetector
+	soft   SoftDetector
+	rep    ActivePathReporter
+
+	tx  []txPacket
+	rx  [][][]int      // [user][ofdmSym][subcarrier]
+	rxL [][][]float64  // [user][ofdmSym][ncbps] when soft
+	x   []complex128   // transmit vector scratch
+	ys  [][]complex128 // one received vector per OFDM symbol (batched)
+}
+
+// newSimWorker allocates the worker buffers and validates the detector
+// against the configuration.
+func newSimWorker(cfg *SimConfig, il *coding.Interleaver, sigma2 float64, det detector.Detector) (*simWorker, error) {
+	link := cfg.Link
+	w := &simWorker{cfg: cfg, il: il, sigma2: sigma2, det: det}
+	if cfg.Soft {
+		soft, ok := det.(SoftDetector)
+		if !ok {
+			return nil, fmt.Errorf("phy: detector %s cannot produce soft outputs", det.Name())
+		}
+		w.soft = soft
+	} else {
+		w.batch = detector.Batch(det)
+	}
+	w.rep, _ = det.(ActivePathReporter)
+	w.tx = make([]txPacket, link.Users)
+	w.rx = make([][][]int, link.Users)
+	for u := range w.rx {
+		w.rx[u] = make([][]int, link.OFDMSymbols)
+		for s := range w.rx[u] {
+			w.rx[u][s] = make([]int, link.Subcarriers)
+		}
+	}
+	if cfg.Soft {
+		w.rxL = make([][][]float64, link.Users)
+		for u := range w.rxL {
+			w.rxL[u] = make([][]float64, link.OFDMSymbols)
+			for s := range w.rxL[u] {
+				w.rxL[u][s] = make([]float64, link.ncbps())
+			}
+		}
+	}
+	w.x = make([]complex128, link.Users)
+	w.ys = make([][]complex128, link.OFDMSymbols)
+	for s := range w.ys {
+		w.ys[s] = make([]complex128, link.APAntennas)
+	}
+	return w, nil
+}
+
+// simPacket runs one packet end to end: transmit chains, per-subcarrier
+// channel preparation, detection (batched per subcarrier over the OFDM
+// symbols) and decoding. All randomness comes from the packet's own
+// seed-split RNG stream, so the outcome depends only on (Seed, pkt).
+func (w *simWorker) simPacket(pkt int) (packetStats, error) {
+	cfg := w.cfg
+	link := cfg.Link
+	var st packetStats
+	rng := channel.NewStreamRNG(cfg.Seed, uint64(pkt))
+	hs := cfg.Channels.Packet(pkt)
+	if len(hs) != link.Subcarriers {
+		return st, fmt.Errorf("phy: provider returned %d subcarriers, want %d", len(hs), link.Subcarriers)
+	}
+	for u := range w.tx {
+		w.tx[u] = link.buildTxPacket(rng, w.il)
+	}
+	bps := link.Constellation.BitsPerSymbol()
+	for k := 0; k < link.Subcarriers; k++ {
+		prepH := hs[k]
+		switch {
+		case cfg.PilotSymbols > 0:
+			prepH = EstimateLS(rng, prepH, w.sigma2, cfg.PilotSymbols)
+		case cfg.EstErrorVar > 0:
+			est := prepH.Copy()
+			for i := range est.Data {
+				est.Data[i] += channel.CN(rng, cfg.EstErrorVar*w.sigma2)
+			}
+			prepH = est
+		}
+		if err := w.det.Prepare(prepH, w.sigma2); err != nil {
+			return st, fmt.Errorf("phy: prepare subcarrier %d: %w", k, err)
+		}
+		if w.rep != nil {
+			st.activeSum += float64(w.rep.ActivePaths())
+			st.activeN++
+		}
+		if cfg.Soft {
+			for s := 0; s < link.OFDMSymbols; s++ {
+				y := w.received(hs[k], rng, s, k)
+				got, llrs := w.soft.DetectSoft(y, w.sigma2)
+				for u := 0; u < link.Users; u++ {
+					w.rx[u][s][k] = got[u]
+					copy(w.rxL[u][s][k*bps:(k+1)*bps], llrs[u])
+				}
+			}
+			continue
+		}
+		// Hard path: synthesize the whole OFDM-symbol burst for this
+		// subcarrier, then detect it in one batch so the detector can
+		// amortise its fan-out over the burst.
+		for s := 0; s < link.OFDMSymbols; s++ {
+			w.received(hs[k], rng, s, k)
+		}
+		got := w.batch.DetectBatch(w.ys)
+		for s := range got {
+			for u := 0; u < link.Users; u++ {
+				w.rx[u][s][k] = got[s][u]
+			}
+		}
+	}
+	for u := 0; u < link.Users; u++ {
+		var ok bool
+		var bitErrs int
+		var err error
+		if cfg.Soft {
+			ok, bitErrs, err = link.decodeRxPacketSoft(w.rxL[u], w.tx[u], w.il)
+		} else {
+			ok, bitErrs, err = link.decodeRxPacket(w.rx[u], w.tx[u], w.il)
+		}
+		if err != nil {
+			return st, err
+		}
+		st.userPackets++
+		if !ok {
+			st.packetErrors++
+		}
+		st.bitErrors += int64(bitErrs)
+		st.payloadBits += int64(len(w.tx[u].payload))
+	}
+	return st, nil
+}
+
+// received synthesizes the received vector of OFDM symbol s on
+// subcarrier k into the worker's ys[s] buffer: modulation, channel, AWGN.
+func (w *simWorker) received(h *cmatrix.Matrix, rng *rand.Rand, s, k int) []complex128 {
+	link := w.cfg.Link
+	for u := 0; u < link.Users; u++ {
+		w.x[u] = link.Constellation.Point(w.tx[u].symbols[s][k])
+	}
+	y := h.MulVecInto(w.x, w.ys[s])
+	return channel.AddAWGN(rng, y, w.sigma2)
 }
