@@ -350,3 +350,36 @@ func BenchmarkExperimentTable3Quick(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkKthClosest contrasts the two k-th-closest slicer paths the
+// conformance LUT property tests relate: the O(1) triangle-LUT lookup
+// the paper's detection step uses (Fig. 6) against the O(M log M)
+// sort-based exact reference. The gap is the per-path work FlexCore's
+// predefined ordering removes from the hot loop.
+func BenchmarkKthClosest(b *testing.B) {
+	for _, m := range []int{16, 64, 256} {
+		cons := flexcore.MustConstellation(m)
+		rng := channel.NewRNG(7)
+		pts := make([]complex128, 256)
+		span := cons.Scale() * float64(cons.Side())
+		for i := range pts {
+			pts[i] = complex((rng.Float64()*2-1)*span, (rng.Float64()*2-1)*span)
+		}
+		b.Run(fmt.Sprintf("lut/m=%d", m), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				z := pts[i%len(pts)]
+				k := i%m + 1
+				cons.KthClosestClamped(z, k)
+			}
+		})
+		b.Run(fmt.Sprintf("sort/m=%d", m), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				z := pts[i%len(pts)]
+				k := i%m + 1
+				cons.ExactKth(z, k)
+			}
+		})
+	}
+}

@@ -1,0 +1,56 @@
+// Command goldengen regenerates the conformance golden corpus: the
+// deterministic JSON fixture pinning every detector's output (and short
+// link-level simulation counts) on seeded channels. It is wired to
+// `go generate ./internal/conformance`; run it after an intentional
+// numerical-behaviour change and review the fixture diff like any other
+// code change.
+//
+// Usage:
+//
+//	goldengen [-out internal/conformance/testdata/golden_vectors.json] [-check]
+//
+// With -check the tool regenerates in memory and diffs against the
+// existing fixture instead of writing, exiting non-zero on divergence —
+// the same comparison the golden test performs, usable standalone.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"flexcore/internal/conformance"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("goldengen: ")
+	out := flag.String("out", "internal/conformance/testdata/golden_vectors.json", "fixture path to write (or compare with -check)")
+	check := flag.Bool("check", false, "diff a fresh generation against the fixture instead of writing")
+	flag.Parse()
+
+	suite, err := conformance.GenerateGoldenSuite()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *check {
+		want, err := conformance.LoadGoldenSuite(*out)
+		if err != nil {
+			log.Fatalf("load fixture: %v", err)
+		}
+		diffs := conformance.DiffGoldenSuites(want, suite)
+		for _, d := range diffs {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		if len(diffs) > 0 {
+			log.Fatalf("%d divergence(s) from %s", len(diffs), *out)
+		}
+		log.Printf("%s is up to date (%d cases, %d sims)", *out, len(suite.Cases), len(suite.Sims))
+		return
+	}
+	if err := conformance.WriteGoldenSuite(*out, suite); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (%d cases, %d sims)", *out, len(suite.Cases), len(suite.Sims))
+}

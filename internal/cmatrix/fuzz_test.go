@@ -1,0 +1,158 @@
+package cmatrix
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// fuzzMatrix deterministically materialises an m×n complex matrix from a
+// seed, with entries scaled by scalePow ∈ [-3, 3] decades to stress both
+// tiny and large magnitudes.
+func fuzzMatrix(seed uint64, m, n int, scalePow int) *Matrix {
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	scale := math.Pow(10, float64(scalePow))
+	h := New(m, n)
+	for i := range h.Data {
+		h.Data[i] = complex(rng.NormFloat64()*scale, rng.NormFloat64()*scale)
+	}
+	return h
+}
+
+// checkQRInvariants verifies the QR contract on one decomposition:
+// H·P = Q·R within a norm-relative tolerance, Q has orthonormal columns,
+// R is upper triangular with a real non-negative diagonal, Perm is a
+// permutation, and back-substitution through R is consistent
+// (‖R·x − b‖ small relative to ‖R‖·‖x‖).
+func checkQRInvariants(t *testing.T, h *Matrix, qr *QRResult) {
+	t.Helper()
+	m, n := h.Rows, h.Cols
+	normH := frobenius(h)
+	tol := 1e-10 * (normH + 1)
+
+	// Perm is a permutation of 0..n-1.
+	seen := make([]bool, n)
+	for _, p := range qr.Perm {
+		if p < 0 || p >= n || seen[p] {
+			t.Fatalf("Perm %v is not a permutation", qr.Perm)
+		}
+		seen[p] = true
+	}
+
+	// R upper triangular, real non-negative diagonal.
+	for i := 0; i < n; i++ {
+		d := qr.R.At(i, i)
+		if imag(d) != 0 || real(d) < 0 {
+			t.Fatalf("R diagonal entry %d = %v not real non-negative", i, d)
+		}
+		for j := 0; j < i; j++ {
+			if qr.R.At(i, j) != 0 {
+				t.Fatalf("R(%d,%d) = %v below the diagonal", i, j, qr.R.At(i, j))
+			}
+		}
+	}
+
+	// ‖Q·R − H·P‖_F ≤ tol.
+	hp := h.PermuteCols(qr.Perm)
+	diff := qr.Q.Mul(qr.R).Sub(hp)
+	if err := frobenius(diff); err > tol {
+		t.Fatalf("‖QR − HP‖ = %g above %g (‖H‖ = %g)", err, tol, normH)
+	}
+
+	// Orthonormal columns: ‖QᴴQ − I‖_F small. A column whose pivot
+	// R(j,j) is negligible relative to ‖H‖ spans a numerically null
+	// direction — its Q column is normalised rounding noise (or exactly
+	// zero), and modified Gram-Schmidt then orthogonalises every LATER
+	// column against that noise, polluting them too. So the
+	// orthonormality promise only covers the prefix of columns processed
+	// before the first dead pivot; the detectors guard the degenerate
+	// rows via their rii > 0 checks. Reconstruction, triangularity and
+	// back-substitution hold unconditionally and are checked above/below.
+	wellPosed := n
+	for j := 0; j < n; j++ {
+		if real(qr.R.At(j, j)) <= 1e-7*(normH+math.SmallestNonzeroFloat64) {
+			wellPosed = j
+			break
+		}
+	}
+	qhq := qr.Q.H().Mul(qr.Q)
+	for i := 0; i < wellPosed; i++ {
+		for j := 0; j < wellPosed; j++ {
+			got := qhq.At(i, j)
+			if i == j {
+				if mag := real(got); math.Abs(mag-1) > 1e-10 {
+					t.Fatalf("‖q_%d‖² = %g, want 1", i, mag)
+				}
+			} else if abs2(got) > 1e-16 {
+				t.Fatalf("q_%d·q_%d = %v, not orthogonal", i, j, got)
+			}
+		}
+	}
+	_ = m
+
+	// Back-substitution consistency on a well-scaled RHS.
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(float64(i%3)-1, float64(i%2))
+	}
+	b := qr.R.MulVec(x)
+	solved, err := SolveUpperTriangular(qr.R, b)
+	if err != nil {
+		return // singular R is legal for rank-deficient inputs
+	}
+	resid := qr.R.MulVec(solved)
+	var worst float64
+	for i := range resid {
+		worst = math.Max(worst, cmagnitude(resid[i]-b[i]))
+	}
+	scale := frobenius(qr.R) + 1
+	if worst > 1e-9*scale {
+		t.Fatalf("back-substitution residual %g above %g", worst, 1e-9*scale)
+	}
+}
+
+func frobenius(m *Matrix) float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += abs2(v)
+	}
+	return math.Sqrt(s)
+}
+
+func abs2(v complex128) float64 { return real(v)*real(v) + imag(v)*imag(v) }
+
+func cmagnitude(v complex128) float64 { return math.Sqrt(abs2(v)) }
+
+// FuzzQR is the decomposition fuzz target of the conformance harness:
+// for arbitrary seeds, shapes and magnitude scales it checks every QR
+// variant (Householder, SQRD, FCSD ordering) against the reconstruction,
+// orthonormality, triangularity and back-substitution invariants above.
+func FuzzQR(f *testing.F) {
+	f.Add(uint64(1), uint8(4), uint8(4), int8(0))
+	f.Add(uint64(2), uint8(6), uint8(3), int8(0))
+	f.Add(uint64(3), uint8(2), uint8(2), int8(3))
+	f.Add(uint64(4), uint8(8), uint8(8), int8(-3))
+	f.Add(uint64(5), uint8(1), uint8(1), int8(0))
+	f.Fuzz(func(t *testing.T, seed uint64, mRaw, nRaw uint8, scaleRaw int8) {
+		n := int(nRaw)%6 + 1
+		m := n + int(mRaw)%4 // Rows ≥ Cols, up to 3 extra receive dims
+		scalePow := int(scaleRaw) % 4
+		h := fuzzMatrix(seed, m, n, scalePow)
+
+		checkQRInvariants(t, h, QR(h))
+		checkQRInvariants(t, h, SortedQR(h, OrderNone))
+		checkQRInvariants(t, h, SortedQR(h, OrderSQRD))
+		for l := 0; l <= n; l++ {
+			checkQRInvariants(t, h, SortedQRFCSD(h, l))
+		}
+
+		// A rank-deficient variant: duplicate a column when n permits.
+		if n >= 2 {
+			hd := h.Copy()
+			for i := 0; i < m; i++ {
+				hd.Set(i, 1, hd.At(i, 0))
+			}
+			checkQRInvariants(t, hd, SortedQR(hd, OrderSQRD))
+		}
+	})
+}

@@ -1,0 +1,93 @@
+package conformance
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+const goldenPath = "testdata/golden_vectors.json"
+
+// TestGoldenVectors is the second conformance layer: a fresh
+// deterministic regeneration of every pinned case and simulation must
+// agree bit for bit with the checked-in fixture. A divergence means the
+// numerical behaviour of some layer changed — the failure message lists
+// exactly which case, vector and detector moved, and distinguishes
+// input drift (RNG/channel changes) from detector-output drift.
+func TestGoldenVectors(t *testing.T) {
+	want, err := LoadGoldenSuite(goldenPath)
+	if err != nil {
+		t.Fatalf("missing or unreadable fixture (regenerate with `go generate ./internal/conformance`): %v", err)
+	}
+	got, err := GenerateGoldenSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := DiffGoldenSuites(want, got); len(diffs) > 0 {
+		t.Fatalf("numerical behaviour diverged from the golden corpus (%d difference(s)).\n"+
+			"If the change is intentional, regenerate with `go generate ./internal/conformance` and review the JSON diff.\n\n%s",
+			len(diffs), strings.Join(diffs, "\n"))
+	}
+}
+
+// TestGoldenFixtureIsSelfConsistent guards the fixture file itself: it
+// must parse, carry every case the generator defines, and declare the
+// regeneration command so a reader of the JSON knows how it was made.
+func TestGoldenFixtureIsSelfConsistent(t *testing.T) {
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "goldengen") {
+		t.Fatal("fixture does not name its generator")
+	}
+	suite, err := LoadGoldenSuite(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite.Cases) != len(goldenCaseParams) || len(suite.Sims) != len(goldenSimParams) {
+		t.Fatalf("fixture has %d cases / %d sims, generator defines %d / %d",
+			len(suite.Cases), len(suite.Sims), len(goldenCaseParams), len(goldenSimParams))
+	}
+	for _, c := range suite.Cases {
+		if len(c.Detectors) == 0 || c.Vectors == 0 {
+			t.Fatalf("case %s is empty", c.Name)
+		}
+		for _, d := range c.Detectors {
+			if len(d.Indices) != c.Vectors {
+				t.Fatalf("case %s detector %s: %d vectors, want %d", c.Name, d.Name, len(d.Indices), c.Vectors)
+			}
+		}
+	}
+}
+
+// TestGoldenDiffReportsInjectedChange proves the corpus fails loudly:
+// perturbing one detector output, one input sample and one sim count
+// must each surface as a distinct readable diff line.
+func TestGoldenDiffReportsInjectedChange(t *testing.T) {
+	want, err := GenerateGoldenSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := GenerateGoldenSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Cases[0].Detectors[0].Indices[0][0] ^= 1
+	got.Cases[1].Y[0][0][0] += 1e-9
+	got.Sims[0].PacketErrors++
+	diffs := DiffGoldenSuites(want, got)
+	if len(diffs) < 3 {
+		t.Fatalf("injected 3 divergences, diff reported %d: %v", len(diffs), diffs)
+	}
+	joined := strings.Join(diffs, "\n")
+	for _, needle := range []string{
+		want.Cases[0].Detectors[0].Name, // the perturbed detector is named
+		"input drift",                   // the y perturbation is attributed to inputs
+		want.Sims[0].Name,               // the perturbed sim is named
+	} {
+		if !strings.Contains(joined, needle) {
+			t.Fatalf("diff does not mention %q:\n%s", needle, joined)
+		}
+	}
+}

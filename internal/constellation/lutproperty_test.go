@@ -1,0 +1,132 @@
+package constellation
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+)
+
+// quadratureOrder rebuilds the Fig. 6 candidate ordering from first
+// principles, independently of buildOrderLUT's closed form: the expected
+// squared distance from an odd-integer offset (a, b) to a point uniform
+// in the canonical triangle t1 (vertices (0,0), (1,0), (1,1)) is
+// computed by the three-edge-midpoint quadrature rule, which is exact
+// for quadratic integrands. 3·E[d²] is provably an integer for odd
+// (a, b), so the sort key is discretised before ordering — exact ties
+// stay exact and fall through to the same (a desc, b desc) tie-break
+// the production table uses.
+func quadratureOrder(t *testing.T, m, side int) [][2]int {
+	t.Helper()
+	type cand struct {
+		a, b int
+		key  int64
+	}
+	mids := [3][2]float64{{0.5, 0}, {1, 0.5}, {0.5, 0.5}}
+	lim := 2*side + 1
+	var cands []cand
+	for a := -lim; a <= lim; a += 2 {
+		for b := -lim; b <= lim; b += 2 {
+			var e float64
+			for _, p := range mids {
+				dx := p[0] - float64(a)
+				dy := p[1] - float64(b)
+				e += dx*dx + dy*dy
+			}
+			// e is now 3·E[d²]; it must be an integer for odd offsets.
+			key := math.Round(e)
+			if math.Abs(e-key) > 1e-9 {
+				t.Fatalf("3·E[d²] for offset (%d,%d) = %.17g, not an integer", a, b, e)
+			}
+			cands = append(cands, cand{a, b, int64(key)})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].key != cands[j].key {
+			return cands[i].key < cands[j].key
+		}
+		if cands[i].a != cands[j].a {
+			return cands[i].a > cands[j].a
+		}
+		return cands[i].b > cands[j].b
+	})
+	out := make([][2]int, m)
+	for k := 0; k < m; k++ {
+		out[k] = [2]int{cands[k].a, cands[k].b}
+	}
+	return out
+}
+
+// TestLUTOrderMatchesQuadratureReference cross-checks the production
+// triangle ordering end to end against the independent quadrature
+// reconstruction for every supported QAM order.
+func TestLUTOrderMatchesQuadratureReference(t *testing.T) {
+	for _, m := range []int{4, 16, 64, 256} {
+		c := MustNew(m)
+		want := quadratureOrder(t, m, c.Side())
+		for k, got := range c.lut.offsets {
+			if got != want[k] {
+				t.Fatalf("M=%d rank %d: LUT offset %v, quadrature reference %v", m, k+1, got, want[k])
+			}
+		}
+	}
+}
+
+// lutPropertyPoints yields a deterministic cloud of query points spread
+// over (and slightly beyond) the constellation, in symbol coordinates.
+func lutPropertyPoints(m int, scale float64, side, n int) []complex128 {
+	rng := rand.New(rand.NewPCG(uint64(m), 0xF16C0DE))
+	span := scale * float64(side+1)
+	pts := make([]complex128, n)
+	for i := range pts {
+		pts[i] = complex((rng.Float64()*2-1)*span, (rng.Float64()*2-1)*span)
+	}
+	return pts
+}
+
+// TestLUTRanksOneAndTwoExact pins the provable part of the triangle
+// approximation: whenever the unclamped lookup succeeds, ranks 1 and 2
+// return the TRUE nearest and second-nearest symbol (compared by
+// distance, so exact boundary ties remain legal). Higher ranks are
+// approximate by design — the per-triangle modal order — and are
+// covered by the monotonicity/golden layers instead.
+func TestLUTRanksOneAndTwoExact(t *testing.T) {
+	for _, m := range []int{4, 16, 64, 256} {
+		c := MustNew(m)
+		for _, z := range lutPropertyPoints(m, c.Scale(), c.Side(), 1000) {
+			for k := 1; k <= 2; k++ {
+				idx, ok := c.KthClosest(z, k)
+				if !ok {
+					continue
+				}
+				want := dist2To(c, z, c.ExactKth(z, k))
+				got := dist2To(c, z, idx)
+				if got > want*(1+1e-12)+1e-12 {
+					t.Fatalf("M=%d z=%v rank %d: LUT dist² %.17g > exact %.17g", m, z, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestLUTRanksAreBijective checks that across the full rank range the
+// successful lookups never repeat a symbol: the predefined order visits
+// each constellation point at most once from any query point.
+func TestLUTRanksAreBijective(t *testing.T) {
+	for _, m := range []int{4, 16, 64, 256} {
+		c := MustNew(m)
+		for _, z := range lutPropertyPoints(m, c.Scale(), c.Side(), 1000) {
+			seen := make(map[int]int, m)
+			for k := 1; k <= m; k++ {
+				idx, ok := c.KthClosest(z, k)
+				if !ok {
+					continue
+				}
+				if prev, dup := seen[idx]; dup {
+					t.Fatalf("M=%d z=%v: ranks %d and %d both map to symbol %d", m, z, prev, k, idx)
+				}
+				seen[idx] = k
+			}
+		}
+	}
+}

@@ -35,7 +35,7 @@ type orderLUT struct {
 func buildOrderLUT(m, side int) *orderLUT {
 	type cand struct {
 		a, b int
-		ed   float64
+		ed   int64
 	}
 	// A window of odd offsets covering the whole constellation from any
 	// midpoint adjacent to it.
@@ -45,7 +45,13 @@ func buildOrderLUT(m, side int) *orderLUT {
 		for b := -lim; b <= lim; b += 2 {
 			fa, fb := float64(a), float64(b)
 			ed := (0.5 - (4.0/3.0)*fa + fa*fa) + (1.0/6.0 - (2.0/3.0)*fb + fb*fb)
-			cands = append(cands, cand{a, b, ed})
+			// 3·E[d²] is an integer for odd offsets. Discretise the sort
+			// key so exact ties (e.g. (7,−1) vs (−3,−5), both 3E = 126)
+			// compare equal and fall through to the tie-break — with raw
+			// floats the two algebraically equal expressions differ at
+			// ulp level and the resulting order would depend on rounding
+			// (and on whether the compiler fuses multiply-adds).
+			cands = append(cands, cand{a, b, int64(math.Round(3 * ed))})
 		}
 	}
 	sort.Slice(cands, func(i, j int) bool {

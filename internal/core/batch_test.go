@@ -162,3 +162,68 @@ func TestBatchLoopAdapter(t *testing.T) {
 		t.Fatal("Batch re-wrapped a native BatchDetector")
 	}
 }
+
+func TestDetectBatchEmptyNonNil(t *testing.T) {
+	fc, _, _ := makeBurst(t, Options{NPE: 16, Workers: 4}, 6, 1, 307)
+	defer fc.Close()
+	before := fc.OpCount()
+	if got := fc.DetectBatch([][]complex128{}); len(got) != 0 {
+		t.Fatalf("empty burst returned %d results", len(got))
+	}
+	if after := fc.OpCount(); after.Detections != before.Detections {
+		t.Fatalf("empty burst counted %d detections", after.Detections-before.Detections)
+	}
+}
+
+func TestDetectBatchGrowsArena(t *testing.T) {
+	// A burst larger than any previous one must regrow the result arena
+	// without corrupting results; a subsequent smaller burst reuses it.
+	for _, workers := range []int{1, 4} {
+		fc, ys, _ := makeBurst(t, Options{NPE: 24, Workers: workers}, 6, 40, 308)
+		want := make([][]int, len(ys))
+		for v, y := range ys {
+			want[v] = append([]int(nil), fc.Detect(y)...)
+		}
+		check := func(lo, hi int) {
+			t.Helper()
+			got := fc.DetectBatch(ys[lo:hi])
+			if len(got) != hi-lo {
+				t.Fatalf("workers=%d [%d:%d]: %d results", workers, lo, hi, len(got))
+			}
+			for v := range got {
+				if !equalInts(got[v], want[lo+v]) {
+					t.Fatalf("workers=%d [%d:%d] vector %d: %v want %v", workers, lo, hi, v, got[v], want[lo+v])
+				}
+			}
+		}
+		check(0, 3)       // small burst pre-grows a small arena
+		check(0, len(ys)) // larger than the pre-grown arena
+		check(5, 9)       // smaller again, reusing the big arena
+		fc.Close()
+	}
+}
+
+func TestDetectBatchAfterClose(t *testing.T) {
+	// Close is a quiescing point, not a terminal state: the batch path
+	// must keep working afterwards, restarting the pool on demand.
+	fc, ys, _ := makeBurst(t, Options{NPE: 24, Workers: 4}, 6, 8, 309)
+	res := fc.DetectBatch(ys)
+	want := make([][]int, len(res))
+	for v := range res {
+		want[v] = append([]int(nil), res[v]...)
+	}
+	fc.Close()
+	if fc.pool != nil {
+		t.Fatal("Close left the pool attached")
+	}
+	got := fc.DetectBatch(ys)
+	for v := range got {
+		if !equalInts(got[v], want[v]) {
+			t.Fatalf("after Close, vector %d: %v want %v", v, got[v], want[v])
+		}
+	}
+	if fc.pool == nil {
+		t.Fatal("DetectBatch after Close did not restart the pool")
+	}
+	fc.Close()
+}

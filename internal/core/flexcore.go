@@ -33,6 +33,17 @@ type Options struct {
 	// behaviour, and what the paper's reported performance is consistent
 	// with); see the ablation benchmark for the measured difference.
 	StrictDeactivation bool
+	// ExactSlicer replaces the triangle-LUT k-th-closest lookup with the
+	// true sort-based k-th closest symbol (constellation.ExactKth) — the
+	// idealised detection step the paper's Fig. 6 ordering approximates.
+	// Under it the rank-vector → symbol-vector map is a bijection, so
+	// FlexCore with N_PE = |Q|^Nt provably equals exhaustive ML; the
+	// conformance suite relies on this mode as a reference. It is much
+	// slower than the LUT (it sorts |Q| distances per tree level) and is
+	// meant for verification, not production detection. ExactSlicer takes
+	// precedence over StrictDeactivation (exact lookups never leave the
+	// constellation, so no path ever deactivates).
+	ExactSlicer bool
 }
 
 // FlexCore is the paper's detector: channel-aware path pre-selection plus
@@ -84,10 +95,14 @@ func New(cons *constellation.Constellation, opts Options) *FlexCore {
 
 // Name implements detector.Detector.
 func (d *FlexCore) Name() string {
-	if d.opts.Threshold > 0 {
-		return fmt.Sprintf("a-FlexCore(NPE=%d,θ=%.2f)", d.opts.NPE, d.opts.Threshold)
+	suffix := ""
+	if d.opts.ExactSlicer {
+		suffix = ",exact"
 	}
-	return fmt.Sprintf("FlexCore(NPE=%d)", d.opts.NPE)
+	if d.opts.Threshold > 0 {
+		return fmt.Sprintf("a-FlexCore(NPE=%d,θ=%.2f%s)", d.opts.NPE, d.opts.Threshold, suffix)
+	}
+	return fmt.Sprintf("FlexCore(NPE=%d%s)", d.opts.NPE, suffix)
 }
 
 // Prepare runs the channel-dependent work: the sorted QR decomposition
@@ -161,7 +176,9 @@ func (d *FlexCore) evalPath(ybar []complex128, ranks []int, idx []int, sym []com
 		}
 		z := b / complex(rii, 0)
 		var k int
-		if d.opts.StrictDeactivation {
+		if d.opts.ExactSlicer {
+			k = d.cons.ExactKth(z, ranks[i])
+		} else if d.opts.StrictDeactivation {
 			var kok bool
 			k, kok = d.cons.KthClosest(z, ranks[i])
 			if !kok {
@@ -233,6 +250,11 @@ func (d *FlexCore) Detect(y []complex128) []int {
 // paid once per burst. Results live in a reused arena, valid until the
 // next Detect/DetectBatch call. With Workers ≤ 1 the burst is processed
 // sequentially with the same scratch reuse.
+//
+// A nil or empty burst returns nil without counting detections; the
+// arena regrows transparently for bursts larger than any seen before;
+// and calling DetectBatch after Close restarts the worker pool on
+// demand (Close quiesces, it does not retire the detector).
 func (d *FlexCore) DetectBatch(ys [][]complex128) [][]int {
 	if len(ys) == 0 {
 		return nil

@@ -16,6 +16,14 @@ type BatchDetector interface {
 	// until its next Detect/DetectBatch call; callers must copy to
 	// retain. All vectors must have the same length (the receive
 	// antenna count of the prepared channel).
+	//
+	// Edge cases, pinned by the conformance suite: a nil or empty burst
+	// returns an empty result without counting detections or panicking;
+	// a burst of one is detected exactly like a single Detect; bursts
+	// may grow or shrink freely between calls (implementations regrow
+	// their arenas transparently); and implementations with a Close
+	// method treat it as a quiescing point, not a terminal state — a
+	// later DetectBatch restarts any released resources on demand.
 	DetectBatch(ys [][]complex128) [][]int
 }
 

@@ -144,3 +144,34 @@ func TestSplitSeedStreamsAreDistinct(t *testing.T) {
 		t.Fatal("seeds 1 and 2 collide on stream 0")
 	}
 }
+
+func TestRunParallelEarlyStopFlexCoreBitIdentical(t *testing.T) {
+	// The full determinism matrix for the paper's own detector: a
+	// FlexCore factory (with its internal path-level worker pool) under
+	// MaxPacketErrors early stop must be byte-identical for every
+	// simulation worker count — the two parallelism layers compose
+	// without breaking the in-order merge.
+	link := smallLink()
+	cfg := SimConfig{
+		Link:    link,
+		SNRdB:   -12,
+		Packets: 400,
+		Seed:    606,
+		DetectorFactory: func() detector.Detector {
+			return core.New(link.Constellation, core.Options{NPE: 16, Workers: 2})
+		},
+		MaxPacketErrors: 6,
+	}
+	serial := runAt(t, 1, cfg)
+	if serial.UserPackets >= 400*link.Users {
+		t.Fatal("early stop did not trigger")
+	}
+	if serial.PacketErrors < 6 {
+		t.Fatalf("stopped with only %d packet errors", serial.PacketErrors)
+	}
+	for _, w := range []int{2, 8} {
+		if got := runAt(t, w, cfg); got != serial {
+			t.Fatalf("workers=%d early-stop diverged:\n  %+v\nvs\n  %+v", w, got, serial)
+		}
+	}
+}
