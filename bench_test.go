@@ -351,6 +351,103 @@ func BenchmarkExperimentTable3Quick(b *testing.B) {
 	}
 }
 
+// benchPrepareSetup builds the PR's frame-prepare reference workload:
+// a 48-subcarrier 64-QAM 8×8 indoor-TDL frame at the paper's 21.6 dB
+// operating point (BENCH_PR3.json records before/after numbers on it).
+func benchPrepareSetup() ([]*cmatrix.Matrix, float64, *flexcore.Constellation) {
+	cons := flexcore.MustConstellation(64)
+	rng := channel.NewRNG(321)
+	sc := make([]int, 48)
+	for i := range sc {
+		sc[i] = i + 1
+	}
+	hs := channel.FreqSelective(rng, 8, 8, sc, channel.DefaultIndoorTDL)
+	return hs, channel.Sigma2FromSNRdB(21.6, 1), cons
+}
+
+// BenchmarkPrepareSingle measures one full scalar Prepare (sorted QR +
+// model + N_PE=128 tree search) in steady state — allocation-free once
+// the detector's pooled arenas are warm.
+func BenchmarkPrepareSingle(b *testing.B) {
+	hs, sigma2, cons := benchPrepareSetup()
+	det := flexcore.New(cons, flexcore.Options{NPE: 128})
+	defer det.Close()
+	if err := det.Prepare(hs[0], sigma2); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := det.Prepare(hs[i%len(hs)], sigma2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPrepareCachedRePrepare measures re-preparing an identical
+// channel with the coherence cache enabled: the tree search is skipped
+// and the steady state performs zero allocations.
+func BenchmarkPrepareCachedRePrepare(b *testing.B) {
+	hs, sigma2, cons := benchPrepareSetup()
+	det := flexcore.New(cons, flexcore.Options{NPE: 128, PathReuse: true, ReuseThreshold: 0})
+	defer det.Close()
+	for i := 0; i < 2; i++ { // warm: miss, then first hit
+		if err := det.Prepare(hs[0], sigma2); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := det.Prepare(hs[0], sigma2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPrepareFrame measures preparing the whole 48-subcarrier frame
+// three ways: the scalar Prepare loop, the PrepareAll pipeline, and
+// PrepareAll with coherence reuse across adjacent subcarriers.
+func BenchmarkPrepareFrame(b *testing.B) {
+	hs, sigma2, cons := benchPrepareSetup()
+	b.Run("loop", func(b *testing.B) {
+		det := flexcore.New(cons, flexcore.Options{NPE: 128})
+		defer det.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, h := range hs {
+				if err := det.Prepare(h, sigma2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	for _, v := range []struct {
+		name  string
+		opts  flexcore.Options
+		reuse bool
+	}{
+		{"prepareall", flexcore.Options{NPE: 128}, false},
+		{"prepareall-reuse", flexcore.Options{NPE: 128, PathReuse: true, ReuseThreshold: 0.1}, true},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			det := flexcore.New(cons, v.opts)
+			defer det.Close()
+			if err := det.PrepareAll(hs, sigma2); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := det.PrepareAll(hs, sigma2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkKthClosest contrasts the two k-th-closest slicer paths the
 // conformance LUT property tests relate: the O(1) triangle-LUT lookup
 // the paper's detection step uses (Fig. 6) against the O(M log M)

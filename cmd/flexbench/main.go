@@ -16,6 +16,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"flexcore/internal/experiments"
@@ -27,6 +29,8 @@ func main() {
 	workers := flag.Int("workers", 0, "packet-level simulation parallelism (0 = all cores; results are identical for any value)")
 	out := flag.String("o", "", "write output to a file as well as stdout")
 	csvDir := flag.String("csvdir", "", "also write each table as a CSV file into this directory")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: flexbench [-quick] [-seed N] [-o file] {all|%s}\n",
 			joinNames())
@@ -39,6 +43,34 @@ func main() {
 	}
 	name := flag.Arg(0)
 	cfg := experiments.Config{Quick: *quick, Seed: *seed, Workers: *workers}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flexbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "flexbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "flexbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "flexbench: %v\n", err)
+			}
+		}()
+	}
 
 	var w io.Writer = os.Stdout
 	if *out != "" {

@@ -12,8 +12,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
+	"flexcore/internal/channel"
 	"flexcore/internal/coding"
 	"flexcore/internal/constellation"
 	"flexcore/internal/core"
@@ -37,7 +40,36 @@ func main() {
 	soft := flag.Bool("soft", false, "soft-decision decoding (flexcore/aflexcore only)")
 	pilots := flag.Int("pilots", 0, "LS channel estimation from this many pilot symbols (0 = genie CSI)")
 	workers := flag.Int("workers", 1, "packet-level simulation parallelism (0 = all cores); results are identical for any value")
+	detWorkers := flag.Int("detworkers", 0, "flexcore/aflexcore internal worker pool (0/1 = sequential; detection results are identical for any value)")
+	reuse := flag.Float64("reuse", -1, "coherence threshold for flexcore position-vector reuse across subcarriers (<0 = off; 0 = exact-match only; typical 0.05–0.2)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	cons, err := constellation.New(*qam)
 	if err != nil {
@@ -51,7 +83,7 @@ func main() {
 		Subcarriers:   *subcarriers,
 		OFDMSymbols:   *symbols,
 	}
-	det, err := makeDetector(strings.ToLower(*detName), cons, *npe)
+	det, err := makeDetector(strings.ToLower(*detName), cons, *npe, *detWorkers, *reuse)
 	if err != nil {
 		fatal(err)
 	}
@@ -82,9 +114,9 @@ func main() {
 		// instance then only serves the Name/OpCount report below.
 		cfg.Detector = nil
 		cfg.Workers = *workers
-		name, q := strings.ToLower(*detName), *npe
+		name, q, dw, ru := strings.ToLower(*detName), *npe, *detWorkers, *reuse
 		cfg.DetectorFactory = func() detector.Detector {
-			d, err := makeDetector(name, cons, q)
+			d, err := makeDetector(name, cons, q, dw, ru)
 			if err != nil {
 				fatal(err)
 			}
@@ -104,18 +136,32 @@ func main() {
 	if res.AvgActivePEs > 0 {
 		fmt.Printf("active PEs    %.1f\n", res.AvgActivePEs)
 	}
+	if *reuse >= 0 {
+		fmt.Printf("reuse         threshold %.3g (indoor TDL coherence ≈ %d subcarriers)\n",
+			*reuse, channel.DefaultIndoorTDL.CoherenceSubcarriers())
+		if fc, ok := det.(*core.FlexCore); ok && *workers == 1 {
+			pp := fc.PreprocessStats()
+			fmt.Printf("cache         %d hits / %d misses\n", pp.CacheHits, pp.CacheMisses)
+		}
+	}
 	if *workers == 1 {
 		ops := det.OpCount().PerDetection()
 		fmt.Printf("per detection %d real muls, %d FLOPs, %d nodes\n", ops.RealMuls, ops.FLOPs, ops.Nodes)
 	}
 }
 
-func makeDetector(name string, cons *constellation.Constellation, npe int) (detector.Detector, error) {
+func makeDetector(name string, cons *constellation.Constellation, npe, detWorkers int, reuse float64) (detector.Detector, error) {
+	opts := core.Options{NPE: npe, Workers: detWorkers}
+	if reuse >= 0 {
+		opts.PathReuse = true
+		opts.ReuseThreshold = reuse
+	}
 	switch name {
 	case "flexcore":
-		return core.New(cons, core.Options{NPE: npe}), nil
+		return core.New(cons, opts), nil
 	case "aflexcore":
-		return core.New(cons, core.Options{NPE: npe, Threshold: 0.95}), nil
+		opts.Threshold = 0.95
+		return core.New(cons, opts), nil
 	case "ml":
 		return detector.NewSphere(cons), nil
 	case "mmse":

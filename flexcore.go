@@ -21,6 +21,16 @@
 //	if err := det.Prepare(h, sigma2); err != nil { ... }
 //	// per received vector:
 //	symbols := det.Detect(y)
+//
+// For OFDM frames, the channel-rate fast path prepares every subcarrier
+// in one call (fanning across Options.Workers, and reusing position
+// vectors across coherent subcarriers when Options.PathReuse is set):
+//
+//	if err := det.PrepareAll(hs, sigma2); err != nil { ... }
+//	for k := range hs {
+//		det.Select(k)
+//		symbols := det.Detect(ys[k])
+//	}
 package flexcore
 
 import (

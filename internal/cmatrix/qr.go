@@ -213,23 +213,100 @@ const (
 )
 
 func sortedQR(h *Matrix, ruleAt func(step, cols int) pickRule) *QRResult {
+	var ws QRWorkspace
+	return ws.sortedQRInto(h, ruleAt, &QRResult{})
+}
+
+// QRWorkspace holds the scratch buffers of a sorted QR decomposition so
+// repeated decompositions (one per OFDM subcarrier per packet at the
+// channel rate) are allocation-free in steady state. A workspace is not
+// safe for concurrent use; keep one per goroutine. The zero value is
+// ready to use.
+type QRWorkspace struct {
+	cols    [][]complex128
+	colData []complex128
+	norms   []float64
+	qi      []complex128
+}
+
+// SortedQRInto is SortedQR writing the factors into a caller-owned
+// QRResult whose buffers are reused when the dimensions match (grown
+// otherwise), using the workspace's scratch. It returns out.
+func (ws *QRWorkspace) SortedQRInto(h *Matrix, ord Ordering, out *QRResult) *QRResult {
+	switch ord {
+	case OrderNone:
+		return ws.sortedQRInto(h, func(step, n int) pickRule { return pickFirst }, out)
+	case OrderSQRD:
+		return ws.sortedQRInto(h, func(step, n int) pickRule { return pickMin }, out)
+	case OrderFCSD:
+		panic("cmatrix: use SortedQRFCSD for the FCSD ordering")
+	default:
+		panic("cmatrix: unknown ordering")
+	}
+}
+
+// ensure grows the workspace scratch to an m×n decomposition.
+func (ws *QRWorkspace) ensure(m, n int) {
+	if cap(ws.colData) < m*n {
+		ws.colData = make([]complex128, m*n)
+		ws.cols = make([][]complex128, n)
+		ws.norms = make([]float64, n)
+		ws.qi = make([]complex128, m)
+	}
+	ws.colData = ws.colData[:m*n]
+	if cap(ws.cols) < n {
+		ws.cols = make([][]complex128, n)
+		ws.norms = make([]float64, n)
+	}
+	if cap(ws.qi) < m {
+		ws.qi = make([]complex128, m)
+	}
+	ws.cols = ws.cols[:n]
+	ws.norms = ws.norms[:n]
+	ws.qi = ws.qi[:m]
+}
+
+// ensureResult points out's factors at reusable buffers of the right
+// shape, zeroing reused storage (R's strict lower triangle must read as
+// zero for consumers that scan the full matrix).
+func ensureResult(out *QRResult, m, n int) {
+	if out.Q == nil || out.Q.Rows != m || out.Q.Cols != n {
+		out.Q = New(m, n)
+	}
+	if out.R == nil || out.R.Rows != n || out.R.Cols != n {
+		out.R = New(n, n)
+	} else {
+		clear(out.R.Data)
+	}
+	if cap(out.Perm) < n {
+		out.Perm = make([]int, n)
+	}
+	out.Perm = out.Perm[:n]
+}
+
+func (ws *QRWorkspace) sortedQRInto(h *Matrix, ruleAt func(step, cols int) pickRule, out *QRResult) *QRResult {
 	m, n := h.Rows, h.Cols
 	if m < n {
 		panic("cmatrix: SortedQR requires Rows ≥ Cols")
 	}
+	ws.ensure(m, n)
+	ensureResult(out, m, n)
 	// Working copy of the columns and their residual squared norms.
-	cols := make([][]complex128, n)
-	norms := make([]float64, n)
+	cols := ws.cols
+	norms := ws.norms
 	for j := 0; j < n; j++ {
-		cols[j] = h.Col(j)
-		norms[j] = Norm2(cols[j])
+		c := ws.colData[j*m : (j+1)*m]
+		for t := 0; t < m; t++ {
+			c[t] = h.Data[t*n+j]
+		}
+		cols[j] = c
+		norms[j] = Norm2(c)
 	}
-	perm := make([]int, n)
+	perm := out.Perm
 	for i := range perm {
 		perm[i] = i
 	}
-	q := New(m, n)
-	r := New(n, n)
+	q, r := out.Q, out.R
 	for i := 0; i < n; i++ {
 		// Pivot selection over the not-yet-factored columns.
 		k := i
@@ -259,12 +336,14 @@ func sortedQR(h *Matrix, ruleAt func(step, cols int) pickRule) *QRResult {
 		// Re-computing the norm avoids drift from the running updates.
 		rii := Norm(cols[i])
 		r.Set(i, i, complex(rii, 0))
-		qi := make([]complex128, m)
+		qi := ws.qi
 		if rii > 0 {
 			inv := complex(1/rii, 0)
 			for t := 0; t < m; t++ {
 				qi[t] = cols[i][t] * inv
 			}
+		} else {
+			clear(qi)
 		}
 		q.SetCol(i, qi)
 		for j := i + 1; j < n; j++ {
@@ -277,5 +356,5 @@ func sortedQR(h *Matrix, ruleAt func(step, cols int) pickRule) *QRResult {
 			}
 		}
 	}
-	return &QRResult{Q: q, R: r, Perm: perm}
+	return out
 }

@@ -1,0 +1,33 @@
+package cmatrix
+
+// This file holds the two scalar kernels every tree-search detector
+// shares. They used to be restated locally in internal/detector and
+// internal/core; keeping the single implementation here (below the
+// packages that specialise on top of it) means a change to the
+// interference-cancellation or PED arithmetic lands in exactly one
+// place.
+
+// CancelRow computes the interference-cancelled observation of row i of
+// an upper-triangular system: b_i = ȳ(i) − Σ_{j>i} R(i,j)·sym(j), where
+// sym holds the already-decided symbol values for rows > i (sym may be
+// longer than R when reused as scratch; only the first R.Cols entries
+// are read). r must be upper triangular (entries below the diagonal are
+// never read).
+func CancelRow(r *Matrix, ybar, sym []complex128, i int) complex128 {
+	b := ybar[i]
+	row := r.Data[i*r.Cols : (i+1)*r.Cols]
+	for j := i + 1; j < r.Cols; j++ {
+		b -= row[j] * sym[j]
+	}
+	return b
+}
+
+// PEDIncrement returns the partial-Euclidean-distance increment at a
+// tree level for candidate symbol value q given the interference-
+// cancelled observation b and the real diagonal entry rii:
+// |b − rii·q|².
+func PEDIncrement(b complex128, rii float64, q complex128) float64 {
+	dr := real(b) - rii*real(q)
+	di := imag(b) - rii*imag(q)
+	return dr*dr + di*di
+}

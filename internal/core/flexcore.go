@@ -44,6 +44,21 @@ type Options struct {
 	// precedence over StrictDeactivation (exact lookups never leave the
 	// constellation, so no path ever deactivates).
 	ExactSlicer bool
+	// PathReuse enables the coherence-aware position-vector cache: the
+	// selected path set E depends only on R and σ² (§3.1.1), so a
+	// Prepare whose R is within ReuseThreshold of the previous fresh-
+	// prepared channel (normalized Frobenius distance, with σ² within
+	// the same relative tolerance) reuses E and skips the tree search —
+	// only the QR decomposition and the per-level model terms are
+	// redone. Adjacent OFDM subcarriers inside the channel's coherence
+	// bandwidth, and slowly fading packets, hit this cache almost
+	// always. Hit/miss counts are reported by PreprocessStats.
+	PathReuse bool
+	// ReuseThreshold is the relative tolerance of the PathReuse
+	// similarity test. 0 reuses only on an exactly identical (R, σ²)
+	// pair — provably output-neutral (the conformance suite checks it).
+	// Typical OFDM operation uses 0.05–0.2 (see DESIGN.md §9).
+	ReuseThreshold float64
 }
 
 // FlexCore is the paper's detector: channel-aware path pre-selection plus
@@ -79,6 +94,22 @@ type FlexCore struct {
 	batchBuf []int
 	batchHdr [][]int
 
+	// Channel-rate scratch: QR factors, workspace, model storage and the
+	// pre-processing pool, all reused so steady-state Prepare performs
+	// no allocation (the paper's O(N_PE·Nt) pre-processing claim held in
+	// memory traffic too, not only arithmetic).
+	qrOwn    cmatrix.QRResult
+	qrws     cmatrix.QRWorkspace
+	modelOwn Model
+	finder   pathFinder
+	reuse    reuseCache
+
+	// Frame state: per-subcarrier prepared slots filled by PrepareAll,
+	// activated by Select.
+	frame   []prepSlot
+	frameN  int
+	missIdx []int32 // PrepareAll scratch: slots needing a fresh search
+
 	pool *pool // persistent workers, started on first parallel use
 }
 
@@ -108,24 +139,60 @@ func (d *FlexCore) Name() string {
 // Prepare runs the channel-dependent work: the sorted QR decomposition
 // (shared with any sphere decoder) and FlexCore's pre-processing tree
 // search. It re-runs whenever the channel changes, as in the paper.
+// All channel-rate storage (QR factors, model, candidate heap, path
+// set) is detector-owned and reused, so steady-state Prepare calls are
+// allocation-free; the slices returned by Paths() are valid until the
+// next Prepare/PrepareAll call. With Options.PathReuse, a channel
+// coherent with the previous fresh-prepared one reuses its position
+// vectors and skips the tree search entirely.
 func (d *FlexCore) Prepare(h *cmatrix.Matrix, sigma2 float64) error {
 	if h.Rows < h.Cols {
 		return fmt.Errorf("core: need receive antennas ≥ streams, got %d×%d", h.Rows, h.Cols)
 	}
-	d.qr = cmatrix.SortedQR(h, d.opts.Ordering)
+	d.qr = d.qrws.SortedQRInto(h, d.opts.Ordering, &d.qrOwn)
 	d.n = h.Cols
 	d.ensureScratch()
-	d.model = NewModel(d.qr.R, sigma2, d.cons)
-	var stats PreprocessStats
-	d.paths, stats = FindPaths(d.model, d.opts.NPE, d.opts.Threshold)
-	d.ppOps.RealMuls += stats.RealMuls
-	d.ppOps.Expanded += stats.Expanded
-	d.ppOps.CumulativeProb = stats.CumulativeProb
+	d.model = NewModelInto(&d.modelOwn, d.qr.R, sigma2, d.cons)
+	d.preparePaths(d.qr.R, sigma2)
 	d.ops.Prepares++
 	muls := int64(4 * h.Rows * h.Cols * h.Cols)
 	d.ops.RealMuls += muls
 	d.ops.FLOPs += 2 * muls
 	return nil
+}
+
+// preparePaths selects the position vectors for the current model,
+// going through the coherence cache when PathReuse is enabled.
+func (d *FlexCore) preparePaths(r *cmatrix.Matrix, sigma2 float64) {
+	if d.opts.PathReuse && d.reuse.valid {
+		d.countSimilarity(r.Cols)
+		if d.reuse.match(r, sigma2, d.opts.ReuseThreshold) {
+			d.paths = d.reuse.paths
+			d.ppOps.CacheHits++
+			d.ppOps.CumulativeProb = d.reuse.cum
+			return
+		}
+	}
+	paths, stats := d.finder.find(d.model, d.opts.NPE, d.opts.Threshold)
+	d.ppOps.RealMuls += stats.RealMuls
+	d.ppOps.Expanded += stats.Expanded
+	d.ppOps.CumulativeProb = stats.CumulativeProb
+	if d.opts.PathReuse {
+		d.ppOps.CacheMisses++
+		d.reuse.store(r, sigma2, paths, stats.CumulativeProb)
+		d.paths = d.reuse.paths
+		return
+	}
+	d.paths = paths
+}
+
+// countSimilarity accounts the coherence test's arithmetic: 2 real
+// multiplications per R entry for the squared distance plus 2 for the
+// base norm.
+func (d *FlexCore) countSimilarity(n int) {
+	muls := int64(4 * n * n)
+	d.ops.RealMuls += muls
+	d.ops.FLOPs += 2 * muls
 }
 
 // ActivePaths returns the number of processing elements activated for the
@@ -169,7 +236,7 @@ func (d *FlexCore) ensureScratch() {
 // ok = false.
 func (d *FlexCore) evalPath(ybar []complex128, ranks []int, idx []int, sym []complex128) (ped float64, ok bool) {
 	for i := d.n - 1; i >= 0; i-- {
-		b := cancel(d.qr.R, ybar, sym, i)
+		b := cmatrix.CancelRow(d.qr.R, ybar, sym, i)
 		rii := real(d.qr.R.At(i, i))
 		if rii <= 0 {
 			return 0, false
@@ -190,22 +257,9 @@ func (d *FlexCore) evalPath(ybar []complex128, ranks []int, idx []int, sym []com
 		idx[i] = k
 		q := d.cons.Point(k)
 		sym[i] = q
-		dr := real(b) - rii*real(q)
-		di := imag(b) - rii*imag(q)
-		ped += dr*dr + di*di
+		ped += cmatrix.PEDIncrement(b, rii, q)
 	}
 	return ped, true
-}
-
-// cancel is detector.cancel re-stated locally to keep the packages
-// decoupled: b_i = ȳ(i) − Σ_{j>i} R(i,j)·sym(j).
-func cancel(r *cmatrix.Matrix, ybar, sym []complex128, i int) complex128 {
-	b := ybar[i]
-	row := r.Data[i*r.Cols : (i+1)*r.Cols]
-	for j := i + 1; j < r.Cols; j++ {
-		b -= row[j] * sym[j]
-	}
-	return b
 }
 
 // countDetections accumulates the operation counters for detecting
@@ -368,7 +422,7 @@ func (d *FlexCore) Close() {
 // deactivates), written into caller-owned idx/sym scratch.
 func (d *FlexCore) clampedSICInto(ybar []complex128, idx []int, sym []complex128) []int {
 	for i := d.n - 1; i >= 0; i-- {
-		b := cancel(d.qr.R, ybar, sym, i)
+		b := cmatrix.CancelRow(d.qr.R, ybar, sym, i)
 		rii := real(d.qr.R.At(i, i))
 		var z complex128
 		if rii > 0 {

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"fmt"
+
+	"flexcore/internal/cmatrix"
+)
+
+// This file implements the channel-rate fast path across channels: the
+// coherence-aware position-vector cache (Options.PathReuse) and the
+// frame-level PrepareAll/Select pipeline that prepares every subcarrier
+// of an OFDM frame in one call, fanning the per-subcarrier work across
+// the detector's persistent worker pool.
+//
+// Both exploit the same property of §3.1.1: the selected path set E is
+// a function of (R, σ²) only — never of the received signal — so it can
+// be computed once per coherence interval and shared, and it can be
+// computed for many subcarriers independently and in parallel.
+
+// reuseCache is the depth-1 coherence cache of the scalar Prepare path:
+// the R factor, noise variance and position vectors of the last fresh-
+// prepared channel. Stored paths live in cache-owned arenas so they
+// survive subsequent tree searches into the finder's scratch.
+type reuseCache struct {
+	valid  bool
+	r      *cmatrix.Matrix // copy of the base R
+	sigma2 float64
+	cum    float64
+	paths  []Path
+	ranks  []int // backing for the cached Ranks
+}
+
+// similarR reports whether r is within thr of base in normalized
+// Frobenius distance: ‖r−base‖_F ≤ thr·‖base‖_F. thr = 0 accepts only
+// an exactly identical R.
+func similarR(base, r *cmatrix.Matrix, thr float64) bool {
+	if base.Rows != r.Rows || base.Cols != r.Cols {
+		return false
+	}
+	var diff2, norm2 float64
+	for i, v := range r.Data {
+		b := base.Data[i]
+		d := v - b
+		diff2 += real(d)*real(d) + imag(d)*imag(d)
+		norm2 += real(b)*real(b) + imag(b)*imag(b)
+	}
+	return diff2 <= thr*thr*norm2
+}
+
+// match reports whether (r, sigma2) is coherent with the cached base
+// under the relative tolerance thr.
+func (c *reuseCache) match(r *cmatrix.Matrix, sigma2, thr float64) bool {
+	if !c.valid {
+		return false
+	}
+	ds := sigma2 - c.sigma2
+	if ds < 0 {
+		ds = -ds
+	}
+	if ds > thr*c.sigma2 {
+		return false
+	}
+	return similarR(c.r, r, thr)
+}
+
+// store copies (r, sigma2, paths) into the cache-owned arenas and makes
+// them the new reuse base.
+func (c *reuseCache) store(r *cmatrix.Matrix, sigma2 float64, paths []Path, cum float64) {
+	if c.r == nil || c.r.Rows != r.Rows || c.r.Cols != r.Cols {
+		c.r = cmatrix.New(r.Rows, r.Cols)
+	}
+	copy(c.r.Data, r.Data)
+	c.sigma2 = sigma2
+	c.cum = cum
+	c.paths, c.ranks = copyPaths(paths, c.paths, c.ranks)
+	c.valid = true
+}
+
+// copyPaths clones a path set into reusable header/rank arenas and
+// returns the (possibly regrown) arenas.
+func copyPaths(src, hdr []Path, ranks []int) ([]Path, []int) {
+	n := 0
+	if len(src) > 0 {
+		n = len(src[0].Ranks)
+	}
+	if cap(hdr) < len(src) {
+		hdr = make([]Path, len(src))
+	}
+	hdr = hdr[:len(src)]
+	if cap(ranks) < len(src)*n {
+		ranks = make([]int, len(src)*n)
+	}
+	ranks = ranks[:cap(ranks)]
+	for i, p := range src {
+		dst := ranks[i*n : (i+1)*n : (i+1)*n]
+		copy(dst, p.Ranks)
+		hdr[i] = Path{Ranks: dst, LogP: p.LogP}
+	}
+	return hdr, ranks
+}
+
+// prepSlot is one subcarrier's prepared channel state inside a frame:
+// its QR factors, per-level model, and selected position vectors (owned
+// for fresh searches, aliased from the coherence base for reuse hits).
+type prepSlot struct {
+	qr    cmatrix.QRResult
+	model Model
+	paths []Path
+	cum   float64
+
+	hdr   []Path // owned path-header arena (fresh slots)
+	ranks []int  // owned rank arena (fresh slots)
+
+	stats PreprocessStats // fresh-search stats; zero for reuse hits
+	hit   bool
+	base  int32 // slot whose paths a hit aliases (-1 for fresh)
+}
+
+// storePaths clones the finder's result into the slot-owned arenas.
+func (s *prepSlot) storePaths(paths []Path, stats PreprocessStats) {
+	s.hdr, s.ranks = copyPaths(paths, s.hdr, s.ranks)
+	s.paths = s.hdr
+	s.stats = stats
+	s.cum = stats.CumulativeProb
+}
+
+// prepareSlot runs one subcarrier's channel-rate work (sorted QR + per-
+// level model) into slot s using the caller-owned QR workspace.
+func (d *FlexCore) prepareSlot(s *prepSlot, h *cmatrix.Matrix, sigma2 float64, ws *cmatrix.QRWorkspace) {
+	ws.SortedQRInto(h, d.opts.Ordering, &s.qr)
+	NewModelInto(&s.model, s.qr.R, sigma2, d.cons)
+}
+
+// findSlotPaths runs the pre-processing tree search for slot s with the
+// caller-owned finder and stores the result in the slot's arenas.
+func (d *FlexCore) findSlotPaths(s *prepSlot, f *pathFinder) {
+	paths, stats := f.find(&s.model, d.opts.NPE, d.opts.Threshold)
+	s.storePaths(paths, stats)
+}
+
+// PrepareAll prepares a whole frame of per-subcarrier channels (same
+// geometry, same noise variance) in one call: the sorted QR and model of
+// every subcarrier, then the pre-processing tree search for every
+// subcarrier that needs one. With Options.Workers > 1 both stages fan
+// out across the persistent worker pool; with Options.PathReuse the
+// subcarriers are chained through the coherence test in index order, so
+// a subcarrier within ReuseThreshold of the last fresh-prepared one
+// aliases its position vectors instead of searching again (adjacent
+// subcarriers inside the coherence bandwidth — the dominant OFDM case).
+//
+// The hit/miss decisions are made sequentially in subcarrier order over
+// the already-computed R factors, so results are identical for every
+// worker count; with PathReuse disabled they are bit-identical to
+// looping Prepare over the channels. PrepareAll leaves no subcarrier
+// selected: call Select(k) before detecting. The frame state is valid
+// until the next PrepareAll call (scalar Prepare does not disturb it).
+func (d *FlexCore) PrepareAll(hs []*cmatrix.Matrix, sigma2 float64) error {
+	if len(hs) == 0 {
+		return fmt.Errorf("core: PrepareAll needs at least one channel")
+	}
+	nr, n := hs[0].Rows, hs[0].Cols
+	if nr < n {
+		return fmt.Errorf("core: need receive antennas ≥ streams, got %d×%d", nr, n)
+	}
+	for k, h := range hs {
+		if h.Rows != nr || h.Cols != n {
+			return fmt.Errorf("core: PrepareAll channels must share one geometry, subcarrier %d is %d×%d (frame is %d×%d)",
+				k, h.Rows, h.Cols, nr, n)
+		}
+	}
+	d.n = n
+	d.ensureScratch()
+	if cap(d.frame) < len(hs) {
+		grown := make([]prepSlot, len(hs))
+		copy(grown, d.frame) // keep the arenas already grown in old slots
+		d.frame = grown
+	}
+	d.frame = d.frame[:len(hs)]
+	d.frameN = len(hs)
+	frame := d.frame
+
+	parallel := d.opts.Workers > 1 && len(hs) > 1
+
+	// Stage 1 — channel-rate math per subcarrier: sorted QR + model.
+	if parallel {
+		p := d.ensurePool()
+		p.kind = jobPrepModel
+		p.hs, p.sigma2, p.frame = hs, sigma2, frame
+		p.dispatch()
+		p.hs, p.frame = nil, nil
+	} else {
+		for k := range frame {
+			d.prepareSlot(&frame[k], hs[k], sigma2, &d.qrws)
+		}
+	}
+
+	// Stage 2 — sequential coherence chain over the computed R factors
+	// (cheap: one normalized Frobenius distance per subcarrier), marking
+	// each slot fresh or aliasing it to its coherence base.
+	d.missIdx = d.missIdx[:0]
+	base := int32(-1)
+	for k := range frame {
+		s := &frame[k]
+		s.hit = false
+		s.base = -1
+		s.stats = PreprocessStats{}
+		if d.opts.PathReuse && base >= 0 {
+			d.countSimilarity(n)
+			if similarR(frame[base].qr.R, s.qr.R, d.opts.ReuseThreshold) {
+				s.hit = true
+				s.base = base
+				continue
+			}
+		}
+		base = int32(k)
+		d.missIdx = append(d.missIdx, int32(k))
+	}
+
+	// Stage 3 — pre-processing tree search for the fresh slots.
+	if parallel && len(d.missIdx) > 1 {
+		p := d.ensurePool()
+		p.kind = jobPrepPaths
+		p.hs, p.sigma2, p.frame, p.miss = hs, sigma2, frame, d.missIdx
+		p.dispatch()
+		p.hs, p.frame, p.miss = nil, nil, nil
+	} else {
+		for _, k := range d.missIdx {
+			d.findSlotPaths(&frame[k], &d.finder)
+		}
+	}
+
+	// Resolve hit aliases and fold the counters in subcarrier order, so
+	// the cumulative stats are identical for every worker count.
+	for k := range frame {
+		s := &frame[k]
+		if s.hit {
+			b := &frame[s.base]
+			s.paths = b.paths
+			s.cum = b.cum
+			d.ppOps.CacheHits++
+		} else {
+			d.ppOps.RealMuls += s.stats.RealMuls
+			d.ppOps.Expanded += s.stats.Expanded
+			if d.opts.PathReuse {
+				d.ppOps.CacheMisses++
+			}
+		}
+		d.ops.Prepares++
+		muls := int64(4 * nr * n * n)
+		d.ops.RealMuls += muls
+		d.ops.FLOPs += 2 * muls
+	}
+	d.ppOps.CumulativeProb = frame[len(frame)-1].cum
+	return nil
+}
+
+// FrameSize returns the number of subcarriers prepared by the last
+// PrepareAll (0 before the first).
+func (d *FlexCore) FrameSize() int { return d.frameN }
+
+// Select activates subcarrier k of the frame prepared by PrepareAll:
+// subsequent Detect/DetectBatch/DetectSoft calls run against its
+// channel. It is a pointer swap — O(1), no math, no allocation.
+func (d *FlexCore) Select(k int) error {
+	if k < 0 || k >= d.frameN {
+		return fmt.Errorf("core: Select(%d) outside the prepared frame of %d subcarriers", k, d.frameN)
+	}
+	s := &d.frame[k]
+	d.qr = &s.qr
+	d.model = &s.model
+	d.paths = s.paths
+	d.ppOps.CumulativeProb = s.cum
+	return nil
+}

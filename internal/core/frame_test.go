@@ -1,0 +1,339 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"flexcore/internal/channel"
+	"flexcore/internal/cmatrix"
+	"flexcore/internal/constellation"
+)
+
+// frameChannels draws one correlated OFDM frame: nSC per-subcarrier
+// channels sharing the default indoor delay taps, so adjacent
+// subcarriers are coherent the way real frames are.
+func frameChannels(seed uint64, nr, nt, nSC int) []*cmatrix.Matrix {
+	rng := channel.NewRNG(seed)
+	sc := make([]int, nSC)
+	for i := range sc {
+		sc[i] = i + 1
+	}
+	return channel.FreqSelective(rng, nr, nt, sc, channel.DefaultIndoorTDL)
+}
+
+// clonePaths deep-copies a detector's selected path set (the live set
+// aliases detector-owned arenas).
+func clonePaths(ps []Path) []Path {
+	out := make([]Path, len(ps))
+	for i, p := range ps {
+		out[i] = Path{Ranks: append([]int(nil), p.Ranks...), LogP: p.LogP}
+	}
+	return out
+}
+
+// samePaths reports bit-identity of two path sets (ranks and LogP).
+func samePaths(a, b []Path) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].LogP != b[i].LogP || !equalInts(a[i].Ranks, b[i].Ranks) {
+			return false
+		}
+	}
+	return true
+}
+
+// framePrepareReference runs the scalar Prepare loop over a frame and
+// records per-subcarrier paths and detection outputs — the sequential
+// baseline every fast-path variant must reproduce.
+func framePrepareReference(t *testing.T, cons *constellation.Constellation, opts Options,
+	hs []*cmatrix.Matrix, ys [][]complex128, sigma2 float64) (paths [][]Path, det [][]int) {
+	t.Helper()
+	ref := New(cons, opts)
+	defer ref.Close()
+	paths = make([][]Path, len(hs))
+	det = make([][]int, len(hs))
+	for k, h := range hs {
+		if err := ref.Prepare(h, sigma2); err != nil {
+			t.Fatal(err)
+		}
+		paths[k] = clonePaths(ref.Paths())
+		det[k] = append([]int(nil), ref.Detect(ys[k])...)
+	}
+	return paths, det
+}
+
+// TestPrepareAllMatchesLoopedPrepare is the bit-identity property test of
+// the frame pipeline: with the coherence cache disabled, PrepareAll +
+// Select(k) must reproduce a fresh sequential Prepare per subcarrier
+// exactly — same position vectors (ranks and log-probabilities bit for
+// bit) and same detection decisions — for every worker count.
+func TestPrepareAllMatchesLoopedPrepare(t *testing.T) {
+	cons := constellation.MustNew(16)
+	const nt, nSC = 6, 24
+	hs := frameChannels(11, nt, nt, nSC)
+	sigma2 := channel.Sigma2FromSNRdB(14, 1)
+	rng := newRng(77)
+	ys := make([][]complex128, nSC)
+	for k := range ys {
+		ys[k] = transmit(rng, hs[k], cons, randSymbols(rng, cons, nt), sigma2)
+	}
+	wantPaths, wantDet := framePrepareReference(t, cons, Options{NPE: 32}, hs, ys, sigma2)
+
+	for _, workers := range []int{0, 2, 4} {
+		fc := New(cons, Options{NPE: 32, Workers: workers})
+		// Two rounds: the second exercises the steady-state pooled arenas.
+		for round := 0; round < 2; round++ {
+			if err := fc.PrepareAll(hs, sigma2); err != nil {
+				t.Fatal(err)
+			}
+			if fc.FrameSize() != nSC {
+				t.Fatalf("workers=%d: FrameSize %d, want %d", workers, fc.FrameSize(), nSC)
+			}
+			for k := range hs {
+				if err := fc.Select(k); err != nil {
+					t.Fatal(err)
+				}
+				if !samePaths(fc.Paths(), wantPaths[k]) {
+					t.Fatalf("workers=%d round %d subcarrier %d: paths differ from looped Prepare", workers, round, k)
+				}
+				if got := fc.Detect(ys[k]); !equalInts(got, wantDet[k]) {
+					t.Fatalf("workers=%d round %d subcarrier %d: Detect %v, want %v", workers, round, k, got, wantDet[k])
+				}
+			}
+		}
+		fc.Close()
+	}
+}
+
+// TestPathReuseThresholdZeroExact pins the output-neutrality guarantee of
+// the coherence cache: with ReuseThreshold = 0 the cache only fires on an
+// exactly identical (R, σ²), so enabling it can never change any output —
+// here on a frame with duplicated subcarriers, so hits actually occur.
+func TestPathReuseThresholdZeroExact(t *testing.T) {
+	cons := constellation.MustNew(16)
+	const nt = 5
+	base := frameChannels(23, nt, nt, 6)
+	// Duplicate every channel: [h0 h0 h1 h1 ...] — each duplicate is an
+	// exact-match cache hit.
+	hs := make([]*cmatrix.Matrix, 0, 2*len(base))
+	for _, h := range base {
+		hs = append(hs, h, h)
+	}
+	sigma2 := channel.Sigma2FromSNRdB(15, 1)
+	rng := newRng(99)
+	ys := make([][]complex128, len(hs))
+	for k := range ys {
+		ys[k] = transmit(rng, hs[k], cons, randSymbols(rng, cons, nt), sigma2)
+	}
+	wantPaths, wantDet := framePrepareReference(t, cons, Options{NPE: 24}, hs, ys, sigma2)
+
+	fc := New(cons, Options{NPE: 24, PathReuse: true, ReuseThreshold: 0})
+	defer fc.Close()
+	if err := fc.PrepareAll(hs, sigma2); err != nil {
+		t.Fatal(err)
+	}
+	for k := range hs {
+		if err := fc.Select(k); err != nil {
+			t.Fatal(err)
+		}
+		if !samePaths(fc.Paths(), wantPaths[k]) {
+			t.Fatalf("subcarrier %d: reuse-enabled paths differ at threshold 0", k)
+		}
+		if got := fc.Detect(ys[k]); !equalInts(got, wantDet[k]) {
+			t.Fatalf("subcarrier %d: reuse-enabled Detect %v, want %v", k, got, wantDet[k])
+		}
+	}
+	pp := fc.PreprocessStats()
+	if pp.CacheHits != int64(len(base)) {
+		t.Fatalf("CacheHits = %d, want %d (one per duplicated subcarrier)", pp.CacheHits, len(base))
+	}
+	if pp.CacheMisses != int64(len(base)) {
+		t.Fatalf("CacheMisses = %d, want %d", pp.CacheMisses, len(base))
+	}
+}
+
+// TestScalarPrepareReuse covers the cache on the scalar Prepare path:
+// re-preparing the identical channel is a hit with identical outputs, a
+// different channel is a miss, and a hit performs zero allocations in
+// steady state.
+func TestScalarPrepareReuse(t *testing.T) {
+	cons := constellation.MustNew(64)
+	const nt = 6
+	rng := newRng(55)
+	h1 := channel.Rayleigh(rng, nt, nt)
+	h2 := channel.Rayleigh(rng, nt, nt)
+	sigma2 := channel.Sigma2FromSNRdB(20, 1)
+	y := transmit(rng, h1, cons, randSymbols(rng, cons, nt), sigma2)
+
+	fc := New(cons, Options{NPE: 64, PathReuse: true, ReuseThreshold: 0})
+	if err := fc.Prepare(h1, sigma2); err != nil {
+		t.Fatal(err)
+	}
+	want := clonePaths(fc.Paths())
+	wantDet := append([]int(nil), fc.Detect(y)...)
+
+	if err := fc.Prepare(h1, sigma2); err != nil {
+		t.Fatal(err)
+	}
+	if pp := fc.PreprocessStats(); pp.CacheHits != 1 || pp.CacheMisses != 1 {
+		t.Fatalf("after identical re-Prepare: hits=%d misses=%d, want 1/1", pp.CacheHits, pp.CacheMisses)
+	}
+	if !samePaths(fc.Paths(), want) || !equalInts(fc.Detect(y), wantDet) {
+		t.Fatal("cache hit changed the detector output")
+	}
+
+	if err := fc.Prepare(h2, sigma2); err != nil {
+		t.Fatal(err)
+	}
+	if pp := fc.PreprocessStats(); pp.CacheMisses != 2 {
+		t.Fatalf("different channel counted as a hit (misses=%d)", pp.CacheMisses)
+	}
+
+	// Steady state: a cached re-Prepare allocates nothing.
+	if err := fc.Prepare(h2, sigma2); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := fc.Prepare(h2, sigma2); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cached re-Prepare allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestPathReuseWithinCoherence checks that a loose threshold actually
+// reuses across distinct-but-coherent adjacent subcarriers, and that the
+// reused sets keep the detector SER-sane (all-noiseless recovery).
+func TestPathReuseWithinCoherence(t *testing.T) {
+	cons := constellation.MustNew(16)
+	const nt, nSC = 4, 16
+	hs := frameChannels(31, nt, nt, nSC)
+	sigma2 := channel.Sigma2FromSNRdB(18, 1)
+	fc := New(cons, Options{NPE: 16, PathReuse: true, ReuseThreshold: 0.5})
+	defer fc.Close()
+	if err := fc.PrepareAll(hs, sigma2); err != nil {
+		t.Fatal(err)
+	}
+	pp := fc.PreprocessStats()
+	if pp.CacheHits == 0 {
+		t.Fatalf("no coherence hits across %d adjacent subcarriers at threshold 0.5 (misses=%d)", nSC, pp.CacheMisses)
+	}
+	rng := newRng(32)
+	for k := range hs {
+		if err := fc.Select(k); err != nil {
+			t.Fatal(err)
+		}
+		s := randSymbols(rng, cons, nt)
+		y := transmit(rng, hs[k], cons, s, 0)
+		if got := fc.Detect(y); !equalInts(got, s) {
+			t.Fatalf("subcarrier %d: noiseless detection failed with reused paths: %v want %v", k, got, s)
+		}
+	}
+}
+
+// TestPrepareAllConcurrent is the race test: several detectors (each
+// with an internal worker pool) run PrepareAll/Select/Detect on shared
+// immutable channel data concurrently. Run under -race in CI.
+func TestPrepareAllConcurrent(t *testing.T) {
+	cons := constellation.MustNew(16)
+	const nt, nSC = 4, 12
+	hs := frameChannels(47, nt, nt, nSC)
+	sigma2 := channel.Sigma2FromSNRdB(14, 1)
+	rng := newRng(48)
+	ys := make([][]complex128, nSC)
+	for k := range ys {
+		ys[k] = transmit(rng, hs[k], cons, randSymbols(rng, cons, nt), sigma2)
+	}
+	_, wantDet := framePrepareReference(t, cons, Options{NPE: 16}, hs, ys, sigma2)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fc := New(cons, Options{NPE: 16, Workers: 3})
+			defer fc.Close()
+			for round := 0; round < 5; round++ {
+				if err := fc.PrepareAll(hs, sigma2); err != nil {
+					errs <- err
+					return
+				}
+				for k := range hs {
+					if err := fc.Select(k); err != nil {
+						errs <- err
+						return
+					}
+					if got := fc.Detect(ys[k]); !equalInts(got, wantDet[k]) {
+						t.Errorf("concurrent frame: subcarrier %d diverged", k)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestPrepareAllValidation pins the error contract of the frame API.
+func TestPrepareAllValidation(t *testing.T) {
+	cons := constellation.MustNew(4)
+	fc := New(cons, Options{NPE: 4})
+	if err := fc.PrepareAll(nil, 0.1); err == nil {
+		t.Fatal("empty frame accepted")
+	}
+	if err := fc.Select(0); err == nil {
+		t.Fatal("Select before PrepareAll accepted")
+	}
+	mixed := []*cmatrix.Matrix{cmatrix.Identity(3), cmatrix.Identity(4)}
+	if err := fc.PrepareAll(mixed, 0.1); err == nil {
+		t.Fatal("mixed-geometry frame accepted")
+	}
+	wide := []*cmatrix.Matrix{cmatrix.New(2, 4)}
+	if err := fc.PrepareAll(wide, 0.1); err == nil {
+		t.Fatal("underdetermined frame accepted")
+	}
+	ok := []*cmatrix.Matrix{cmatrix.Identity(3), cmatrix.Identity(3)}
+	if err := fc.PrepareAll(ok, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if err := fc.Select(2); err == nil {
+		t.Fatal("Select past the frame accepted")
+	}
+	if err := fc.Select(-1); err == nil {
+		t.Fatal("negative Select accepted")
+	}
+}
+
+// TestSimilarR pins the normalized-Frobenius coherence predicate.
+func TestSimilarR(t *testing.T) {
+	a := cmatrix.Identity(3)
+	b := cmatrix.Identity(3)
+	if !similarR(a, b, 0) {
+		t.Fatal("identical matrices rejected at threshold 0")
+	}
+	b.Set(0, 0, complex(1+1e-12, 0))
+	if similarR(a, b, 0) {
+		t.Fatal("perturbed matrix accepted at threshold 0")
+	}
+	// ‖diff‖_F/‖a‖_F = 1e-12/√3 — far inside a 1e-6 threshold.
+	if !similarR(a, b, 1e-6) {
+		t.Fatal("tiny perturbation rejected at threshold 1e-6")
+	}
+	b.Set(0, 0, complex(2, 0))
+	if similarR(a, b, 0.1) {
+		t.Fatal("gross perturbation accepted at threshold 0.1")
+	}
+	if similarR(a, cmatrix.Identity(4), math.Inf(1)) {
+		t.Fatal("dimension mismatch accepted")
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+// Bounded max-heap for the pre-processing candidate list L of §3.1.1,
+// replacing the former binary-insertion sorted slice: push and pop-max
+// are O(log N_PE) with no O(N_PE) memmove and no sort.* call in the
+// expansion loop.
+//
+// Two properties keep it cheap without changing any output bit:
+//
+//   - Candidates do not carry rank vectors. A child is described by its
+//     parent's index in the result set E plus the incremented element
+//     (children are only ever generated from just-expanded nodes, so the
+//     parent is always already in E); the n-element vector is
+//     materialized only for the N_PE extracted candidates, never for the
+//     ~N_PE·Nt generated ones.
+//   - The N_PE size bound is enforced lazily: the paper drops the worst
+//     entry whenever |L| > N_PE, but a dropped entry can provably never
+//     be extracted (the remaining extractions number less than N_PE and
+//     each outranks it), so the bound is a pure memory cap. The heap
+//     compacts to the best N_PE entries — a hand-written quickselect,
+//     then re-heapify — only when it exceeds 2·N_PE, amortizing the trim
+//     to O(1) per push.
+//
+// Candidates carry an insertion sequence number that breaks probability
+// ties exactly like the sorted list did (FIFO among equal logP on
+// extraction), so the heap-based search returns the bit-identical path
+// set in the bit-identical order.
+
+// candNode is one candidate-list entry: the would-be child of result
+// path `parent` obtained by incrementing element lastInc.
+type candNode struct {
+	logP    float64
+	seq     int32 // insertion order; tie-break matching the sorted list
+	lastInc int32 // index whose increment generated this node (dedup rule)
+	parent  int32 // index into the finder's result set (-1 = root node)
+}
+
+// worse reports whether a ranks strictly below b: lower logP, or equal
+// logP and later insertion. It is a total order (seq is unique).
+func (a *candNode) worse(b *candNode) bool {
+	if a.logP != b.logP {
+		return a.logP < b.logP
+	}
+	return a.seq > b.seq
+}
+
+// candHeap is a binary max-heap of candidates: the root is the best
+// (highest logP, earliest insertion among ties).
+type candHeap []candNode
+
+// push inserts a candidate.
+func (h *candHeap) push(n candNode) {
+	a := append(*h, n)
+	*h = a
+	j := len(a) - 1
+	for j > 0 {
+		p := (j - 1) / 2
+		if !a[p].worse(&a[j]) {
+			break
+		}
+		a[p], a[j] = a[j], a[p]
+		j = p
+	}
+}
+
+// popMax removes and returns the best candidate.
+func (h *candHeap) popMax() candNode {
+	a := *h
+	top := a[0]
+	last := len(a) - 1
+	a[0] = a[last]
+	a = a[:last]
+	*h = a
+	a.siftDown(0)
+	return top
+}
+
+// siftDown restores the heap property below i.
+func (h candHeap) siftDown(i int) {
+	for {
+		c := 2*i + 1
+		if c >= len(h) {
+			return
+		}
+		if c+1 < len(h) && h[c].worse(&h[c+1]) {
+			c++
+		}
+		if !h[i].worse(&h[c]) {
+			return
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+}
+
+// compact trims the heap to its k best candidates (quickselect, then
+// re-heapify). By the trim-neutrality argument above this never changes
+// which candidates get extracted.
+func (h *candHeap) compact(k int) {
+	a := *h
+	if len(a) <= k {
+		return
+	}
+	selectBest(a, k)
+	a = a[:k]
+	for i := k/2 - 1; i >= 0; i-- {
+		a.siftDown(i)
+	}
+	*h = a
+}
+
+// selectBest partially partitions a so its k best candidates (under the
+// worse-order) occupy a[:k], in arbitrary order — an iterative
+// median-of-three quickselect.
+func selectBest(a []candNode, k int) {
+	lo, hi := 0, len(a)
+	for hi-lo > 1 {
+		// Median-of-three pivot from lo, mid, hi-1, parked at hi-1.
+		mid := lo + (hi-lo)/2
+		if a[lo].worse(&a[mid]) {
+			a[lo], a[mid] = a[mid], a[lo]
+		}
+		if a[mid].worse(&a[hi-1]) {
+			a[mid], a[hi-1] = a[hi-1], a[mid]
+			if a[lo].worse(&a[mid]) {
+				a[lo], a[mid] = a[mid], a[lo]
+			}
+		}
+		// Now a[mid] is the median; best-first Lomuto partition on it.
+		pivot := a[mid]
+		a[mid], a[hi-1] = a[hi-1], a[mid]
+		p := lo
+		for j := lo; j < hi-1; j++ {
+			if pivot.worse(&a[j]) { // a[j] better than pivot
+				a[p], a[j] = a[j], a[p]
+				p++
+			}
+		}
+		a[p], a[hi-1] = a[hi-1], a[p]
+		switch {
+		case p == k || p == k-1:
+			return
+		case p > k:
+			hi = p
+		default:
+			lo = p + 1
+		}
+	}
+}

@@ -50,13 +50,23 @@ type Model struct {
 // saturates correctly at low SNR — which is what makes the Fig. 14
 // model-vs-simulation agreement hold "in all SNR regimes".
 func NewModel(r *cmatrix.Matrix, sigma2 float64, cons *constellation.Constellation) *Model {
+	return NewModelInto(&Model{}, r, sigma2, cons)
+}
+
+// NewModelInto is NewModel evaluating into a caller-owned Model whose
+// slices are reused when the dimensions match — the channel-rate fast
+// path re-models every subcarrier without allocating. It returns m.
+func NewModelInto(m *Model, r *cmatrix.Matrix, sigma2 float64, cons *constellation.Constellation) *Model {
 	n := r.Cols
-	m := &Model{
-		Pe:      make([]float64, n),
-		logPe:   make([]float64, n),
-		log1mPe: make([]float64, n),
-		M:       cons.Size(),
+	if cap(m.Pe) < n {
+		m.Pe = make([]float64, n)
+		m.logPe = make([]float64, n)
+		m.log1mPe = make([]float64, n)
 	}
+	m.Pe = m.Pe[:n]
+	m.logPe = m.logPe[:n]
+	m.log1mPe = m.log1mPe[:n]
+	m.M = cons.Size()
 	axisCoef := 1 - 1/math.Sqrt(float64(cons.Size()))
 	sigma := math.Sqrt(sigma2)
 	for i := 0; i < n; i++ {

@@ -3,6 +3,8 @@ package core
 import (
 	"math"
 	"sync"
+
+	"flexcore/internal/cmatrix"
 )
 
 // jobKind selects what the persistent workers execute for one dispatch.
@@ -15,6 +17,12 @@ const (
 	// jobBatch fans whole received vectors of a DetectBatch burst across
 	// the workers; each worker evaluates every path of its vectors.
 	jobBatch
+	// jobPrepModel fans the per-subcarrier channel-rate math of a
+	// PrepareAll frame (sorted QR + model) across the workers.
+	jobPrepModel
+	// jobPrepPaths fans the pre-processing tree searches of a PrepareAll
+	// frame's fresh slots across the workers.
+	jobPrepPaths
 )
 
 // pool is the persistent goroutine pool a FlexCore detector with
@@ -33,10 +41,14 @@ type pool struct {
 
 	// Job parameters: written by the dispatcher before the wake-up,
 	// read back (worker results) after wg.Wait().
-	kind jobKind
-	ybar []complex128   // jobPaths: rotated received vector
-	ys   [][]complex128 // jobBatch: burst of received vectors
-	out  [][]int        // jobBatch: arena-backed result slots
+	kind   jobKind
+	ybar   []complex128      // jobPaths: rotated received vector
+	ys     [][]complex128    // jobBatch: burst of received vectors
+	out    [][]int           // jobBatch: arena-backed result slots
+	hs     []*cmatrix.Matrix // jobPrepModel: per-subcarrier channels
+	sigma2 float64           // jobPrepModel: noise variance
+	frame  []prepSlot        // jobPrep*: per-subcarrier slots
+	miss   []int32           // jobPrepPaths: slots needing a search
 }
 
 // poolWorker is one resident worker: a wake-up channel plus worker-owned
@@ -49,6 +61,9 @@ type poolWorker struct {
 	sym  []complex128 // per-path symbol scratch
 	best []int        // local best path (jobPaths) / per-vector best (jobBatch)
 	ybar []complex128 // jobBatch: per-worker rotated vector
+
+	qrws   cmatrix.QRWorkspace // jobPrepModel: per-worker QR scratch
+	finder pathFinder          // jobPrepPaths: per-worker search pool
 
 	ped    float64 // jobPaths: local minimum PED
 	ok     bool    // jobPaths: local minimum exists
@@ -93,6 +108,10 @@ func (p *pool) run(w *poolWorker) {
 			p.runPaths(w)
 		case jobBatch:
 			p.runBatch(w)
+		case jobPrepModel:
+			p.runPrepModel(w)
+		case jobPrepPaths:
+			p.runPrepPaths(w)
 		}
 		p.wg.Done()
 	}
@@ -141,5 +160,27 @@ func (p *pool) runBatch(w *poolWorker) {
 		if d.detectOne(p.ys[i], w.ybar, w.idx, w.sym, w.best, p.out[i]) {
 			w.fallbk++
 		}
+	}
+}
+
+// runPrepModel computes the sorted QR and per-level model of the
+// worker's stride of the frame's subcarriers, each into its own slot
+// with worker-owned scratch (slots are disjoint across workers, so the
+// stage is lock-free).
+func (p *pool) runPrepModel(w *poolWorker) {
+	d := p.d
+	stride := len(p.workers)
+	for k := w.id; k < len(p.frame); k += stride {
+		d.prepareSlot(&p.frame[k], p.hs[k], p.sigma2, &w.qrws)
+	}
+}
+
+// runPrepPaths runs the pre-processing tree search for the worker's
+// stride of the frame's fresh slots, using the worker's pooled finder.
+func (p *pool) runPrepPaths(w *poolWorker) {
+	d := p.d
+	stride := len(p.workers)
+	for i := w.id; i < len(p.miss); i += stride {
+		d.findSlotPaths(&p.frame[p.miss[i]], &w.finder)
 	}
 }

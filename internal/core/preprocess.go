@@ -2,7 +2,6 @@ package core
 
 import (
 	"math"
-	"sort"
 )
 
 // Path is one sphere-decoder tree path selected by pre-processing,
@@ -18,7 +17,8 @@ type Path struct {
 func (p Path) Prob() float64 { return math.Exp(p.LogP) }
 
 // PreprocessStats reports the work done by the pre-processing tree
-// search, in the units of the paper's Table 2.
+// search, in the units of the paper's Table 2, plus the coherence-reuse
+// counters of the channel-rate fast path.
 type PreprocessStats struct {
 	// RealMuls counts the probability-update multiplications
 	// (Pc(child) = Pc(parent)·Pe(w), one per generated child, plus the
@@ -28,27 +28,57 @@ type PreprocessStats struct {
 	Expanded int64
 	// CumulativeProb is Σ Pc over the returned set E.
 	CumulativeProb float64
+	// CacheHits counts Prepare calls that reused the position vectors of
+	// a coherent earlier channel instead of re-running the tree search
+	// (0 unless Options.PathReuse is enabled).
+	CacheHits int64
+	// CacheMisses counts Prepare calls that ran the tree search afresh
+	// while the reuse cache was enabled.
+	CacheMisses int64
 }
 
-// preNode is a pre-processing tree node.
+// preNode is a pre-processing tree node (used by the batched-expansion
+// model FindPathsParallel; the production search uses candNode and the
+// pooled arena of pathFinder).
 type preNode struct {
 	ranks   []int
 	logP    float64
 	lastInc int // index whose increment generated this node (dedup rule)
 }
 
-// FindPaths runs the pre-processing tree search of §3.1.1: starting from
-// the all-ones position vector it repeatedly expands the most promising
-// node of the candidate list, collecting expanded nodes into the result
-// set E, until nPE paths are selected or (if stopThreshold > 0) the
-// cumulative probability of E exceeds the threshold — the a-FlexCore
-// stopping criterion. The returned paths are in descending Pc order.
+// pathFinder owns the reusable storage of the pre-processing tree
+// search: the bounded candidate heap and the result arena the selected
+// paths are emitted into. Repeated searches with the same (N_PE, Nt)
+// shape perform no allocation — the paper's point that pre-processing is
+// O(N_PE·Nt) cheap holds for memory traffic too, not only arithmetic.
 //
-// Duplicate suppression follows Fig. 5: a node generated by incrementing
-// element l only generates children for elements w ≤ l, so every position
-// vector is produced exactly once (its increments sorted in non-
-// increasing element order form the unique generation path).
-func FindPaths(m *Model, nPE int, stopThreshold float64) ([]Path, PreprocessStats) {
+// The returned paths alias the finder's arena and stay valid until its
+// next find call. A finder is not safe for concurrent use.
+type pathFinder struct {
+	heap   candHeap
+	resBuf []int // result arena, cap × n
+	paths  []Path
+	n, cap int
+}
+
+// ensure grows the finder's arenas for an n-level, nPE-path search.
+func (f *pathFinder) ensure(n, nPE int) {
+	if f.n != n || f.cap < nPE {
+		f.n = n
+		f.cap = nPE
+		f.resBuf = make([]int, nPE*n)
+		f.paths = make([]Path, 0, nPE)
+		// compact fires above 2·nPE; the burst of children pushed between
+		// checks never exceeds n.
+		f.heap = make(candHeap, 0, 2*nPE+n)
+	}
+	f.heap = f.heap[:0]
+	f.paths = f.paths[:0]
+}
+
+// find runs the pre-processing tree search of §3.1.1 (see FindPaths for
+// the algorithm contract) into the finder's pooled storage.
+func (f *pathFinder) find(m *Model, nPE int, stopThreshold float64) ([]Path, PreprocessStats) {
 	var stats PreprocessStats
 	n := m.Levels()
 	if nPE < 1 {
@@ -66,50 +96,81 @@ func FindPaths(m *Model, nPE int, stopThreshold float64) ([]Path, PreprocessStat
 	if float64(nPE) > total {
 		nPE = int(total)
 	}
+	f.ensure(n, nPE)
 
-	root := preNode{ranks: onesVector(n), logP: m.RootLogP(), lastInc: n - 1}
+	// Root: the all-ones position vector.
+	seq := int32(0)
+	f.heap.push(candNode{logP: m.RootLogP(), seq: seq, lastInc: int32(n - 1), parent: -1})
 	stats.RealMuls += int64(n) // root product of (1−Pe) terms
 
-	// Candidate list L, kept sorted descending by logP and capped at nPE
-	// (the paper trims the lowest-Pc entries whenever |L| > N_PE).
-	list := []preNode{root}
-	e := make([]Path, 0, nPE)
 	var cumulative float64
-
-	for len(e) < nPE && len(list) > 0 {
-		// Expand the most promising candidate.
-		node := list[0]
-		list = list[1:]
-		e = append(e, Path{Ranks: node.ranks, LogP: node.logP})
+	for len(f.paths) < nPE && len(f.heap) > 0 {
+		// Expand the most promising candidate, materializing its rank
+		// vector from its parent's (already in the result set).
+		node := f.heap.popMax()
+		res := f.resBuf[len(f.paths)*n : (len(f.paths)+1)*n : (len(f.paths)+1)*n]
+		if node.parent < 0 {
+			for i := range res {
+				res[i] = 1
+			}
+		} else {
+			copy(res, f.paths[node.parent].Ranks)
+			res[node.lastInc]++
+		}
+		parent := int32(len(f.paths))
+		f.paths = append(f.paths, Path{Ranks: res, LogP: node.logP})
 		cumulative += math.Exp(node.logP)
 		stats.Expanded++
 		if stopThreshold > 0 && cumulative >= stopThreshold {
 			break
 		}
-		// Generate children: increment element w for w ≤ lastInc.
-		for w := 0; w <= node.lastInc; w++ {
-			if node.ranks[w] >= m.M {
+		// Generate children: increment element w for w ≤ lastInc (the
+		// Fig. 5 duplicate-suppression rule — every position vector has a
+		// unique generation path).
+		for w := 0; w <= int(node.lastInc); w++ {
+			if res[w] >= m.M {
 				continue // rank cannot exceed the constellation order
 			}
-			child := preNode{
-				ranks:   append([]int(nil), node.ranks...),
+			seq++
+			f.heap.push(candNode{
 				logP:    node.logP + m.logPe[w], // Pc(child) = Pc·Pe(w)
-				lastInc: w,
-			}
-			child.ranks[w]++
+				seq:     seq,
+				lastInc: int32(w),
+				parent:  parent,
+			})
 			stats.RealMuls++
-			// Binary-insert into the descending-sorted list.
-			pos := sort.Search(len(list), func(i int) bool { return list[i].logP < child.logP })
-			list = append(list, preNode{})
-			copy(list[pos+1:], list[pos:])
-			list[pos] = child
-			if len(list) > nPE {
-				list = list[:nPE]
-			}
+		}
+		// Bound |L|: the paper trims to N_PE after every insertion, but a
+		// trimmed entry can provably never be extracted, so compacting
+		// lazily at 2·N_PE is output-identical and amortizes to O(1).
+		if len(f.heap) > 2*nPE {
+			f.heap.compact(nPE)
 		}
 	}
 	stats.CumulativeProb = cumulative
-	return e, stats
+	return f.paths, stats
+}
+
+// FindPaths runs the pre-processing tree search of §3.1.1: starting from
+// the all-ones position vector it repeatedly expands the most promising
+// node of the candidate list, collecting expanded nodes into the result
+// set E, until nPE paths are selected or (if stopThreshold > 0) the
+// cumulative probability of E exceeds the threshold — the a-FlexCore
+// stopping criterion. The returned paths are in descending Pc order.
+//
+// Duplicate suppression follows Fig. 5: a node generated by incrementing
+// element l only generates children for elements w ≤ l, so every position
+// vector is produced exactly once (its increments sorted in non-
+// increasing element order form the unique generation path).
+//
+// The candidate list is a bounded min-max heap capped at nPE entries
+// with all node storage pooled (see pathFinder); this standalone entry
+// point allocates a fresh pool per call, so the returned paths are the
+// caller's to keep. FlexCore detectors reuse a persistent pool across
+// Prepare calls instead.
+func FindPaths(m *Model, nPE int, stopThreshold float64) ([]Path, PreprocessStats) {
+	var f pathFinder
+	return f.find(m, nPE, stopThreshold)
 }
 
 func onesVector(n int) []int {

@@ -80,24 +80,14 @@ type treeState struct {
 	n    int // number of streams
 }
 
-// pedIncrement returns the partial-Euclidean-distance increment at row i
-// for candidate symbol value q given the interference-cancelled
-// observation b_i = ȳ(i) − Σ_{j>i} R(i,j)·s(j):
-// |b_i − R(i,i)·q|².
+// pedIncrement and cancel are the two scalar kernels every tree-search
+// detector shares; the single implementation lives in cmatrix
+// (CancelRow / PEDIncrement) so the arithmetic is stated exactly once
+// across this package and internal/core.
 func pedIncrement(b complex128, rii float64, q complex128) float64 {
-	dr := real(b) - rii*real(q)
-	di := imag(b) - rii*imag(q)
-	return dr*dr + di*di
+	return cmatrix.PEDIncrement(b, rii, q)
 }
 
-// cancel computes b_i = ȳ(i) − Σ_{j>i} R(i,j)·sym(j) for row i, where sym
-// holds the already-decided symbol values for rows > i (sym may be longer
-// than R when reused as scratch; only the first R.Cols entries are read).
 func cancel(r *cmatrix.Matrix, ybar []complex128, sym []complex128, i int) complex128 {
-	b := ybar[i]
-	row := r.Data[i*r.Cols : (i+1)*r.Cols]
-	for j := i + 1; j < r.Cols; j++ {
-		b -= row[j] * sym[j]
-	}
-	return b
+	return cmatrix.CancelRow(r, ybar, sym, i)
 }

@@ -20,6 +20,17 @@ type ActivePathReporter interface {
 	ActivePaths() int
 }
 
+// FramePreparer is implemented by detectors that can prepare a whole
+// frame of per-subcarrier channels in one call (FlexCore's channel-rate
+// fast path): PrepareAll runs every subcarrier's pre-processing —
+// fanning it across the detector's workers and reusing position vectors
+// across coherent subcarriers when enabled — and Select activates one
+// prepared subcarrier for the per-symbol Detect calls.
+type FramePreparer interface {
+	PrepareAll(hs []*cmatrix.Matrix, sigma2 float64) error
+	Select(k int) error
+}
+
 // SoftDetector is implemented by detectors that can emit per-bit LLRs
 // alongside hard decisions (FlexCore's list-sphere soft output — the
 // paper's §7 extension). LLRs are positive when bit 0 is favoured.
@@ -339,6 +350,7 @@ type simWorker struct {
 	batch  detector.BatchDetector
 	soft   SoftDetector
 	rep    ActivePathReporter
+	frame  FramePreparer
 
 	tx  []txPacket
 	rx  [][][]int      // [user][ofdmSym][subcarrier]
@@ -362,6 +374,7 @@ func newSimWorker(cfg *SimConfig, il *coding.Interleaver, sigma2 float64, det de
 		w.batch = detector.Batch(det)
 	}
 	w.rep, _ = det.(ActivePathReporter)
+	w.frame, _ = det.(FramePreparer)
 	w.tx = make([]txPacket, link.Users)
 	w.rx = make([][][]int, link.Users)
 	for u := range w.rx {
@@ -404,20 +417,38 @@ func (w *simWorker) simPacket(pkt int) (packetStats, error) {
 		w.tx[u] = link.buildTxPacket(rng, w.il)
 	}
 	bps := link.Constellation.BitsPerSymbol()
-	for k := 0; k < link.Subcarriers; k++ {
-		prepH := hs[k]
-		switch {
-		case cfg.PilotSymbols > 0:
-			prepH = EstimateLS(rng, prepH, w.sigma2, cfg.PilotSymbols)
-		case cfg.EstErrorVar > 0:
-			est := prepH.Copy()
-			for i := range est.Data {
-				est.Data[i] += channel.CN(rng, cfg.EstErrorVar*w.sigma2)
-			}
-			prepH = est
+	// Genie-CSI runs prepare the whole frame up front through the
+	// detector's channel-rate fast path when it has one. With channel
+	// estimation the per-subcarrier estimates must be drawn in loop order
+	// (their RNG draws interleave with the AWGN draws), so those runs keep
+	// the scalar Prepare path — either way the RNG stream and the
+	// detection outcomes are bit-identical to the per-subcarrier loop.
+	useFrame := w.frame != nil && cfg.PilotSymbols == 0 && cfg.EstErrorVar == 0
+	if useFrame {
+		if err := w.frame.PrepareAll(hs, w.sigma2); err != nil {
+			return st, fmt.Errorf("phy: prepare frame: %w", err)
 		}
-		if err := w.det.Prepare(prepH, w.sigma2); err != nil {
-			return st, fmt.Errorf("phy: prepare subcarrier %d: %w", k, err)
+	}
+	for k := 0; k < link.Subcarriers; k++ {
+		if useFrame {
+			if err := w.frame.Select(k); err != nil {
+				return st, fmt.Errorf("phy: select subcarrier %d: %w", k, err)
+			}
+		} else {
+			prepH := hs[k]
+			switch {
+			case cfg.PilotSymbols > 0:
+				prepH = EstimateLS(rng, prepH, w.sigma2, cfg.PilotSymbols)
+			case cfg.EstErrorVar > 0:
+				est := prepH.Copy()
+				for i := range est.Data {
+					est.Data[i] += channel.CN(rng, cfg.EstErrorVar*w.sigma2)
+				}
+				prepH = est
+			}
+			if err := w.det.Prepare(prepH, w.sigma2); err != nil {
+				return st, fmt.Errorf("phy: prepare subcarrier %d: %w", k, err)
+			}
 		}
 		if w.rep != nil {
 			st.activeSum += float64(w.rep.ActivePaths())

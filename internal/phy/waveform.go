@@ -175,8 +175,20 @@ func RunWaveform(cfg WaveformConfig) (WaveformResult, error) {
 			demod[r][s] = d
 		}
 	}
+	// The estimates are all computed before detection starts, so a
+	// frame-capable detector prepares every bin in one PrepareAll call.
+	framePrep, _ := cfg.Detector.(FramePreparer)
+	if framePrep != nil {
+		if err := framePrep.PrepareAll(hEst, sigma2); err != nil {
+			return WaveformResult{}, fmt.Errorf("phy: waveform prepare frame: %w", err)
+		}
+	}
 	for k := 0; k < ofdm.DataSubcarriers; k++ {
-		if err := cfg.Detector.Prepare(hEst[k], sigma2); err != nil {
+		if framePrep != nil {
+			if err := framePrep.Select(k); err != nil {
+				return WaveformResult{}, fmt.Errorf("phy: waveform select bin %d: %w", k, err)
+			}
+		} else if err := cfg.Detector.Prepare(hEst[k], sigma2); err != nil {
 			return WaveformResult{}, fmt.Errorf("phy: waveform prepare bin %d: %w", k, err)
 		}
 		for s := 0; s < cfg.DataSymbols; s++ {
