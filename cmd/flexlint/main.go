@@ -1,0 +1,122 @@
+// Command flexlint runs the repository's custom static-analysis suite
+// (internal/lint): stdlib-only analyzers that machine-enforce the
+// determinism, zero-allocation, pool-discipline and OpCount-accounting
+// contracts the tests and benchmarks otherwise only check dynamically.
+//
+// Usage:
+//
+//	flexlint [-escapes] [-list] [patterns...]
+//
+// Patterns follow the usual ./... convention and default to ./... from
+// the enclosing module root. Exit status is 0 when clean, 1 when any
+// diagnostic survives suppression, 2 on a load/usage error.
+//
+// With -escapes, flexlint additionally runs `go build -gcflags=-m`
+// over the module and reports every value the compiler moved to the
+// heap inside a //flexcore:noalloc function — the dynamic complement
+// to the syntactic noalloc analyzer. //lint:ignore noalloc comments
+// silence both sides.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+
+	"flexcore/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	escapes := flag.Bool("escapes", false, "cross-check //flexcore:noalloc functions against go build -gcflags=-m escape analysis")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	analyzers := lint.DefaultAnalyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flexlint:", err)
+		return 2
+	}
+	mod, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flexlint:", err)
+		return 2
+	}
+	diags := lint.Run(mod, patterns, analyzers)
+
+	if *escapes {
+		out, err := escapeOutput(root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flexlint: -escapes:", err)
+			return 2
+		}
+		esc := mod.FilterSuppressed(lint.EscapeDiagnostics(mod, out))
+		diags = append(diags, esc...)
+	}
+
+	for _, d := range diags {
+		fmt.Println(relDiag(root, d))
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "flexlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks up from the working directory to go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// escapeOutput captures the compiler's escape-analysis notes for every
+// module package. -gcflags applies to the listed packages only, so the
+// stdlib is not re-analyzed. The build itself writes no binaries.
+func escapeOutput(root string) ([]byte, error) {
+	cmd := exec.Command("go", "build", "-gcflags=-m", "./...")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m failed: %v\n%s", err, out)
+	}
+	return out, nil
+}
+
+// relDiag prints a diagnostic with the file path relative to the
+// module root (stable output for CI logs and the golden tests).
+func relDiag(root string, d lint.Diagnostic) string {
+	if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+		d.Pos.Filename = rel
+	}
+	return d.String()
+}

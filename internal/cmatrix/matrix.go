@@ -85,7 +85,7 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 	for i := 0; i < m.Rows; i++ {
 		for k := 0; k < m.Cols; k++ {
 			a := m.Data[i*m.Cols+k]
-			if a == 0 {
+			if a == 0 { //lint:ignore floatcmp sparsity skip: an exactly-zero factor contributes exactly nothing
 				continue
 			}
 			rowB := b.Data[k*b.Cols : (k+1)*b.Cols]
@@ -129,12 +129,14 @@ func (m *Matrix) MulHVec(x []complex128) []complex128 {
 }
 
 // MulHVecInto computes mᴴ·x into y (len m.Cols) and returns y.
+//
+//flexcore:noalloc
 func (m *Matrix) MulHVecInto(x, y []complex128) []complex128 {
 	if m.Rows != len(x) {
-		panic(fmt.Sprintf("cmatrix: MulHVec dimension mismatch %d×%d ᴴ· %d", m.Rows, m.Cols, len(x)))
+		panic(fmt.Sprintf("cmatrix: MulHVec dimension mismatch %d×%d ᴴ· %d", m.Rows, m.Cols, len(x))) //lint:ignore noalloc cold panic path, never taken in steady state
 	}
 	if len(y) != m.Cols {
-		panic(fmt.Sprintf("cmatrix: MulHVecInto output length %d, want %d", len(y), m.Cols))
+		panic(fmt.Sprintf("cmatrix: MulHVecInto output length %d, want %d", len(y), m.Cols)) //lint:ignore noalloc cold panic path, never taken in steady state
 	}
 	for i := range y {
 		y[i] = 0

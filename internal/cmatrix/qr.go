@@ -34,6 +34,8 @@ func (qr *QRResult) UnpermuteInts(x []int) []int {
 
 // UnpermuteIntsInto is UnpermuteInts into a caller-owned buffer (len ≥
 // len(Perm)); the scratch variant used by allocation-free hot paths.
+//
+//flexcore:noalloc
 func (qr *QRResult) UnpermuteIntsInto(x, out []int) []int {
 	for k, src := range qr.Perm {
 		out[src] = x[k]
@@ -46,6 +48,8 @@ func (qr *QRResult) UnpermuteIntsInto(x, out []int) []int {
 func (qr *QRResult) Ybar(y []complex128) []complex128 { return qr.Q.MulHVec(y) }
 
 // YbarInto computes ȳ = Qᴴ·y into a caller-owned buffer of length Q.Cols.
+//
+//flexcore:noalloc
 func (qr *QRResult) YbarInto(y, out []complex128) []complex128 {
 	return qr.Q.MulHVecInto(y, out)
 }
@@ -74,12 +78,12 @@ func QR(h *Matrix) *QRResult {
 			norm += real(x)*real(x) + imag(x)*imag(x)
 		}
 		norm = math.Sqrt(norm)
-		if norm == 0 {
+		if norm == 0 { //lint:ignore floatcmp an exactly-zero column norm has no reflector; any nonzero norm is usable
 			continue
 		}
 		akk := r.At(k, k)
 		alpha := complex(-norm, 0)
-		if akk != 0 {
+		if akk != 0 { //lint:ignore floatcmp division guard for the phase factor akk/|akk|
 			alpha = -complex(norm, 0) * akk / complex(cmplx.Abs(akk), 0)
 		}
 		var vnorm2 float64
@@ -90,7 +94,7 @@ func QR(h *Matrix) *QRResult {
 		for i := k; i < m; i++ {
 			vnorm2 += real(v[i])*real(v[i]) + imag(v[i])*imag(v[i])
 		}
-		if vnorm2 == 0 {
+		if vnorm2 == 0 { //lint:ignore floatcmp division guard: β = 2/vnorm2
 			continue
 		}
 		beta := complex(2/vnorm2, 0)
@@ -124,7 +128,7 @@ func QR(h *Matrix) *QRResult {
 	for j := 0; j < n; j++ {
 		d := r.At(j, j)
 		phases[j] = 1
-		if d != 0 {
+		if d != 0 { //lint:ignore floatcmp division guard for the phase factor d/|d|
 			phases[j] = d / complex(cmplx.Abs(d), 0)
 		}
 	}
@@ -232,6 +236,8 @@ type QRWorkspace struct {
 // SortedQRInto is SortedQR writing the factors into a caller-owned
 // QRResult whose buffers are reused when the dimensions match (grown
 // otherwise), using the workspace's scratch. It returns out.
+//
+//flexcore:noalloc
 func (ws *QRWorkspace) SortedQRInto(h *Matrix, ord Ordering, out *QRResult) *QRResult {
 	switch ord {
 	case OrderNone:
@@ -239,9 +245,9 @@ func (ws *QRWorkspace) SortedQRInto(h *Matrix, ord Ordering, out *QRResult) *QRR
 	case OrderSQRD:
 		return ws.sortedQRInto(h, func(step, n int) pickRule { return pickMin }, out)
 	case OrderFCSD:
-		panic("cmatrix: use SortedQRFCSD for the FCSD ordering")
+		panic("cmatrix: use SortedQRFCSD for the FCSD ordering") //lint:ignore noalloc cold panic path: the panic argument escapes by construction
 	default:
-		panic("cmatrix: unknown ordering")
+		panic("cmatrix: unknown ordering") //lint:ignore noalloc cold panic path: the panic argument escapes by construction
 	}
 }
 
@@ -284,10 +290,15 @@ func ensureResult(out *QRResult, m, n int) {
 	out.Perm = out.Perm[:n]
 }
 
+// sortedQRInto is the shared modified-Gram-Schmidt kernel behind the
+// SortedQR entry points: workspace-pooled, allocation-free once the
+// workspace and result have their steady-state shape.
+//
+//flexcore:noalloc
 func (ws *QRWorkspace) sortedQRInto(h *Matrix, ruleAt func(step, cols int) pickRule, out *QRResult) *QRResult {
 	m, n := h.Rows, h.Cols
 	if m < n {
-		panic("cmatrix: SortedQR requires Rows ≥ Cols")
+		panic("cmatrix: SortedQR requires Rows ≥ Cols") //lint:ignore noalloc cold panic path: the panic argument escapes by construction
 	}
 	ws.ensure(m, n)
 	ensureResult(out, m, n)
@@ -345,11 +356,11 @@ func (ws *QRWorkspace) sortedQRInto(h *Matrix, ruleAt func(step, cols int) pickR
 		} else {
 			clear(qi)
 		}
-		q.SetCol(i, qi)
+		q.SetCol(i, qi) //lint:ignore noalloc cold panic path of the inlined SetCol length check
 		for j := i + 1; j < n; j++ {
-			rij := Dot(qi, cols[j])
+			rij := Dot(qi, cols[j]) //lint:ignore noalloc cold panic path of the inlined Dot length check
 			r.Set(i, j, rij)
-			AXPY(-rij, qi, cols[j])
+			AXPY(-rij, qi, cols[j]) //lint:ignore noalloc cold panic path of the inlined AXPY length check
 			norms[j] -= real(rij)*real(rij) + imag(rij)*imag(rij)
 			if norms[j] < 0 {
 				norms[j] = 0

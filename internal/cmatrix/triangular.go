@@ -13,6 +13,8 @@ package cmatrix
 // longer than R when reused as scratch; only the first R.Cols entries
 // are read). r must be upper triangular (entries below the diagonal are
 // never read).
+//
+//flexcore:noalloc
 func CancelRow(r *Matrix, ybar, sym []complex128, i int) complex128 {
 	b := ybar[i]
 	row := r.Data[i*r.Cols : (i+1)*r.Cols]
@@ -26,6 +28,8 @@ func CancelRow(r *Matrix, ybar, sym []complex128, i int) complex128 {
 // tree level for candidate symbol value q given the interference-
 // cancelled observation b and the real diagonal entry rii:
 // |b − rii·q|².
+//
+//flexcore:noalloc
 func PEDIncrement(b complex128, rii float64, q complex128) float64 {
 	dr := real(b) - rii*real(q)
 	di := imag(b) - rii*imag(q)

@@ -6,9 +6,11 @@ import (
 )
 
 // Dot returns the inner product ⟨a, b⟩ = aᴴ·b.
+//
+//flexcore:noalloc
 func Dot(a, b []complex128) complex128 {
 	if len(a) != len(b) {
-		panic("cmatrix: Dot length mismatch")
+		panic("cmatrix: Dot length mismatch") //lint:ignore noalloc cold panic path: the panic argument escapes by construction
 	}
 	var s complex128
 	for i := range a {
@@ -18,6 +20,8 @@ func Dot(a, b []complex128) complex128 {
 }
 
 // Norm2 returns the squared Euclidean norm of v.
+//
+//flexcore:noalloc
 func Norm2(v []complex128) float64 {
 	var s float64
 	for _, x := range v {
@@ -27,12 +31,16 @@ func Norm2(v []complex128) float64 {
 }
 
 // Norm returns the Euclidean norm of v.
+//
+//flexcore:noalloc
 func Norm(v []complex128) float64 { return math.Sqrt(Norm2(v)) }
 
 // AXPY computes y ← y + a·x in place.
+//
+//flexcore:noalloc
 func AXPY(a complex128, x, y []complex128) {
 	if len(x) != len(y) {
-		panic("cmatrix: AXPY length mismatch")
+		panic("cmatrix: AXPY length mismatch") //lint:ignore noalloc cold panic path: the panic argument escapes by construction
 	}
 	for i := range x {
 		y[i] += a * x[i]

@@ -311,6 +311,7 @@ func DiffGoldenSuites(want, got *GoldenSuite) []string {
 }
 
 func diffCase(w, g *GoldenCase, addf func(string, ...any)) {
+	//lint:ignore floatcmp the golden gate demands bit-exact reproduction; an epsilon would mask the drift it exists to catch
 	if w.Seed != g.Seed || w.M != g.M || w.Nt != g.Nt || w.Nr != g.Nr || w.SNRdB != g.SNRdB || w.Vectors != g.Vectors {
 		addf("case %s: parameters diverged (fixture seed=%d m=%d %dx%d snr=%g n=%d, current seed=%d m=%d %dx%d snr=%g n=%d)",
 			w.Name, w.Seed, w.M, w.Nt, w.Nr, w.SNRdB, w.Vectors, g.Seed, g.M, g.Nt, g.Nr, g.SNRdB, g.Vectors)
@@ -325,7 +326,7 @@ func diffCase(w, g *GoldenCase, addf func(string, ...any)) {
 		}
 	}
 	for v := range w.OracleDist {
-		if v < len(g.OracleDist) && w.OracleDist[v] != g.OracleDist[v] {
+		if v < len(g.OracleDist) && w.OracleDist[v] != g.OracleDist[v] { //lint:ignore floatcmp golden drift check: oracle distances must reproduce bit-exactly
 			addf("case %s vector %d: oracle ML distance %v -> %v", w.Name, v, w.OracleDist[v], g.OracleDist[v])
 		}
 	}

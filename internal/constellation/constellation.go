@@ -96,6 +96,8 @@ func (c *Constellation) MinDist() float64 { return 2 * c.scale }
 func (c *Constellation) Scale() float64 { return c.scale }
 
 // Point returns the complex symbol value for index idx.
+//
+//flexcore:noalloc
 func (c *Constellation) Point(idx int) complex128 { return c.points[idx] }
 
 // Points returns the full symbol alphabet (shared slice; do not modify).
@@ -124,6 +126,8 @@ func (c *Constellation) axisIndex(v float64) int {
 }
 
 // Slice returns the index of the constellation point nearest to z.
+//
+//flexcore:noalloc
 func (c *Constellation) Slice(z complex128) int {
 	return c.axisIndex(imag(z))*c.side + c.axisIndex(real(z))
 }

@@ -76,6 +76,8 @@ func buildOrderLUT(m, side int) *orderLUT {
 // the predefined per-triangle ordering. ok is false when the ordering
 // points outside the constellation — the "deactivated processing element"
 // case of the paper — or when k exceeds the stored table.
+//
+//flexcore:noalloc
 func (c *Constellation) KthClosest(z complex128, k int) (idx int, ok bool) {
 	if k < 1 || k > len(c.lut.offsets) {
 		return 0, false
@@ -134,7 +136,7 @@ func (c *Constellation) ExactKth(z complex128, k int) int {
 		all[i] = ds{i, dr*dr + di*di}
 	}
 	sort.Slice(all, func(i, j int) bool {
-		if all[i].d != all[j].d {
+		if all[i].d != all[j].d { //lint:ignore floatcmp sort comparator: exact ties fall through to the index tie-break; any FP difference is a strict order
 			return all[i].d < all[j].d
 		}
 		return all[i].idx < all[j].idx
@@ -147,6 +149,8 @@ func (c *Constellation) ExactKth(z complex128, k int) int {
 // index clamps to the nearest edge instead of deactivating the path —
 // the behaviour of a saturating hardware slicer. The boolean reports
 // whether clamping occurred.
+//
+//flexcore:noalloc
 func (c *Constellation) KthClosestClamped(z complex128, k int) (idx int, clamped bool) {
 	if idx, ok := c.KthClosest(z, k); ok {
 		return idx, false
@@ -186,6 +190,7 @@ func (c *Constellation) KthClosestClamped(z complex128, k int) (idx int, clamped
 	return ny*c.side + nx, true
 }
 
+//flexcore:noalloc
 func clampAxis(i, side int) int {
 	if i < 0 {
 		return 0

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"testing"
+
+	"flexcore/internal/constellation"
+)
+
+// Allocation gates for the channel-rate entry points, complementing the
+// symbol-rate gates in batch_test.go (Detect/DetectBatch) and the
+// cached-re-Prepare gate in frame_test.go. Together with the static
+// noalloc analyzer (cmd/flexlint) they pin the repo's zero-allocation
+// contract from both sides: the analyzer proves the annotated kernels
+// contain no allocation sites, these gates prove the grow-on-shape-
+// change helpers the analyzer deliberately exempts really do stop
+// allocating once the shapes settle.
+
+// TestPrepareSteadyStateAllocFree gates the fresh (cache-disabled)
+// scalar Prepare: after one warm-up on the target geometry, re-preparing
+// — full sorted QR, model build and pre-processing tree search — must
+// run entirely out of the detector-owned arenas.
+func TestPrepareSteadyStateAllocFree(t *testing.T) {
+	cons := constellation.MustNew(16)
+	const nr, nt = 8, 4
+	hs := frameChannels(401, nr, nt, 2)
+	fc := New(cons, Options{NPE: 32})
+	defer fc.Close()
+	for _, h := range hs {
+		if err := fc.Prepare(h, 0.05); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(50, func() {
+		// Alternate channels so no coherence shortcut can kick in even
+		// if a future change enables one by default.
+		i++
+		if err := fc.Prepare(hs[i%2], 0.05); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("fresh Prepare: %.1f allocs/op in steady state, want 0", allocs)
+	}
+}
+
+// TestPrepareAllSteadyStateAllocFree gates the frame pipeline across the
+// worker × reuse matrix: once a frame of the target shape has been
+// prepared, re-preparing a same-shape frame must not allocate — QR
+// workspaces, per-slot path arenas, the miss list and the pool dispatch
+// all run from retained storage.
+func TestPrepareAllSteadyStateAllocFree(t *testing.T) {
+	cons := constellation.MustNew(16)
+	const nr, nt, nSC = 6, 4, 12
+	fa := frameChannels(402, nr, nt, nSC)
+	fb := frameChannels(403, nr, nt, nSC)
+	for _, tc := range []struct {
+		name    string
+		workers int
+		reuse   bool
+	}{
+		{"seq", 1, false},
+		{"seq-reuse", 1, true},
+		{"par", 4, false},
+		{"par-reuse", 4, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := Options{NPE: 32, Workers: tc.workers, PathReuse: tc.reuse}
+			if tc.reuse {
+				opts.ReuseThreshold = 0.05
+			}
+			fc := New(cons, opts)
+			defer fc.Close()
+			if err := fc.PrepareAll(fa, 0.05); err != nil {
+				t.Fatal(err)
+			}
+			if err := fc.PrepareAll(fb, 0.05); err != nil {
+				t.Fatal(err)
+			}
+			i := 0
+			allocs := testing.AllocsPerRun(20, func() {
+				i++
+				hs := fa
+				if i%2 == 0 {
+					hs = fb
+				}
+				if err := fc.PrepareAll(hs, 0.05); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("PrepareAll %s: %.1f allocs/op in steady state, want 0", tc.name, allocs)
+			}
+		})
+	}
+}
+
+// TestSelectAllocFree pins Select's documented O(1)-pointer-swap
+// contract: activating any prepared subcarrier allocates nothing, from
+// the very first call.
+func TestSelectAllocFree(t *testing.T) {
+	cons := constellation.MustNew(16)
+	hs := frameChannels(404, 6, 4, 8)
+	fc := New(cons, Options{NPE: 32})
+	defer fc.Close()
+	if err := fc.PrepareAll(hs, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	k := 0
+	allocs := testing.AllocsPerRun(50, func() {
+		k = (k + 1) % len(hs)
+		if err := fc.Select(k); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Select: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestPrepareAllRegrowThenSettle checks the amortization story end to
+// end: growing the frame (more subcarriers than ever seen) may allocate,
+// but the very next same-shape call is allocation-free again.
+func TestPrepareAllRegrowThenSettle(t *testing.T) {
+	cons := constellation.MustNew(16)
+	small := frameChannels(405, 6, 4, 4)
+	big := frameChannels(406, 6, 4, 16)
+	fc := New(cons, Options{NPE: 32})
+	defer fc.Close()
+	if err := fc.PrepareAll(small, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	if err := fc.PrepareAll(big, 0.05); err != nil { // regrow
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := fc.PrepareAll(big, 0.05); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("PrepareAll after regrow: %.1f allocs/op, want 0", allocs)
+	}
+	// Shrinking back reuses the big arenas.
+	allocs = testing.AllocsPerRun(20, func() {
+		if err := fc.PrepareAll(small, 0.05); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("PrepareAll after shrink: %.1f allocs/op, want 0", allocs)
+	}
+}

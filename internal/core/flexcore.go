@@ -145,13 +145,15 @@ func (d *FlexCore) Name() string {
 // next Prepare/PrepareAll call. With Options.PathReuse, a channel
 // coherent with the previous fresh-prepared one reuses its position
 // vectors and skips the tree search entirely.
+//
+//flexcore:noalloc
 func (d *FlexCore) Prepare(h *cmatrix.Matrix, sigma2 float64) error {
 	if h.Rows < h.Cols {
-		return fmt.Errorf("core: need receive antennas ≥ streams, got %d×%d", h.Rows, h.Cols)
+		return fmt.Errorf("core: need receive antennas ≥ streams, got %d×%d", h.Rows, h.Cols) //lint:ignore noalloc cold validation path, never taken in steady state
 	}
 	d.qr = d.qrws.SortedQRInto(h, d.opts.Ordering, &d.qrOwn)
 	d.n = h.Cols
-	d.ensureScratch()
+	d.ensureScratch() //lint:ignore noalloc amortised: the inlined grow helper allocates only when the stream count changes
 	d.model = NewModelInto(&d.modelOwn, d.qr.R, sigma2, d.cons)
 	d.preparePaths(d.qr.R, sigma2)
 	d.ops.Prepares++
@@ -163,6 +165,8 @@ func (d *FlexCore) Prepare(h *cmatrix.Matrix, sigma2 float64) error {
 
 // preparePaths selects the position vectors for the current model,
 // going through the coherence cache when PathReuse is enabled.
+//
+//flexcore:noalloc
 func (d *FlexCore) preparePaths(r *cmatrix.Matrix, sigma2 float64) {
 	if d.opts.PathReuse && d.reuse.valid {
 		d.countSimilarity(r.Cols)
@@ -189,6 +193,8 @@ func (d *FlexCore) preparePaths(r *cmatrix.Matrix, sigma2 float64) {
 // countSimilarity accounts the coherence test's arithmetic: 2 real
 // multiplications per R entry for the squared distance plus 2 for the
 // base norm.
+//
+//flexcore:noalloc
 func (d *FlexCore) countSimilarity(n int) {
 	muls := int64(4 * n * n)
 	d.ops.RealMuls += muls
@@ -234,6 +240,8 @@ func (d *FlexCore) ensureScratch() {
 // saturates the slicer per axis (default) or deactivates the whole path
 // (StrictDeactivation, the paper's literal §3.2 wording), reported by
 // ok = false.
+//
+//flexcore:noalloc
 func (d *FlexCore) evalPath(ybar []complex128, ranks []int, idx []int, sym []complex128) (ped float64, ok bool) {
 	for i := d.n - 1; i >= 0; i-- {
 		b := cmatrix.CancelRow(d.qr.R, ybar, sym, i)
@@ -264,6 +272,8 @@ func (d *FlexCore) evalPath(ybar []complex128, ranks []int, idx []int, sym []com
 
 // countDetections accumulates the operation counters for detecting
 // `vectors` received vectors of length ylen under the current Prepare.
+//
+//flexcore:noalloc
 func (d *FlexCore) countDetections(vectors, ylen int) {
 	d.ops.Detections += int64(vectors)
 	// ȳ rotation plus per-path cost: Σ_i [4(n−1−i) + 4 + 2] real muls.
@@ -279,6 +289,8 @@ func (d *FlexCore) countDetections(vectors, ylen int) {
 // Euclidean distance, falling back to a clamped SIC pass when every path
 // deactivates. The returned slice is owned by the detector and valid
 // until its next Detect/DetectBatch call; copy it to retain.
+//
+//flexcore:noalloc
 func (d *FlexCore) Detect(y []complex128) []int {
 	d.countDetections(1, len(y))
 	// One or zero paths gain nothing from fan-out: take the sequential
@@ -309,12 +321,14 @@ func (d *FlexCore) Detect(y []complex128) []int {
 // arena regrows transparently for bursts larger than any seen before;
 // and calling DetectBatch after Close restarts the worker pool on
 // demand (Close quiesces, it does not retire the detector).
+//
+//flexcore:noalloc
 func (d *FlexCore) DetectBatch(ys [][]complex128) [][]int {
 	if len(ys) == 0 {
 		return nil
 	}
 	d.countDetections(len(ys), len(ys[0]))
-	out := d.batchSlots(len(ys))
+	out := d.batchSlots(len(ys)) //lint:ignore noalloc amortised: the inlined arena helper allocates only when the burst shape grows
 	if d.opts.Workers > 1 && len(ys) > 1 && len(d.paths) > 0 {
 		p := d.ensurePool()
 		p.kind = jobBatch
@@ -354,6 +368,8 @@ func (d *FlexCore) batchSlots(m int) [][]int {
 // out. It reports whether the clamped-SIC fallback resolved the vector.
 // It is the sequential per-vector kernel shared by Detect, the
 // sequential DetectBatch route and the pool's batch workers.
+//
+//flexcore:noalloc
 func (d *FlexCore) detectOne(y []complex128, ybar []complex128, idx []int, sym []complex128, best, out []int) bool {
 	yb := d.qr.YbarInto(y, ybar)
 	bestPed := math.Inf(1)
@@ -379,6 +395,8 @@ func (d *FlexCore) detectOne(y []complex128, ybar []complex128, idx []int, sym [
 // software analogue of Fig. 2's per-processing-element pipeline plus
 // minimum tree. The winning path lands in d.best; the return value
 // reports whether any path survived.
+//
+//flexcore:noalloc
 func (d *FlexCore) detectParallel(ybar []complex128) bool {
 	p := d.ensurePool()
 	p.kind = jobPaths
@@ -420,6 +438,8 @@ func (d *FlexCore) Close() {
 // clampedSICInto is the deactivation fallback: a rank-one descent using
 // the exact slicer (which clamps to the constellation and never
 // deactivates), written into caller-owned idx/sym scratch.
+//
+//flexcore:noalloc
 func (d *FlexCore) clampedSICInto(ybar []complex128, idx []int, sym []complex128) []int {
 	for i := d.n - 1; i >= 0; i-- {
 		b := cmatrix.CancelRow(d.qr.R, ybar, sym, i)

@@ -33,6 +33,8 @@ type reuseCache struct {
 // similarR reports whether r is within thr of base in normalized
 // Frobenius distance: ‖r−base‖_F ≤ thr·‖base‖_F. thr = 0 accepts only
 // an exactly identical R.
+//
+//flexcore:noalloc
 func similarR(base, r *cmatrix.Matrix, thr float64) bool {
 	if base.Rows != r.Rows || base.Cols != r.Cols {
 		return false
@@ -49,6 +51,8 @@ func similarR(base, r *cmatrix.Matrix, thr float64) bool {
 
 // match reports whether (r, sigma2) is coherent with the cached base
 // under the relative tolerance thr.
+//
+//flexcore:noalloc
 func (c *reuseCache) match(r *cmatrix.Matrix, sigma2, thr float64) bool {
 	if !c.valid {
 		return false
@@ -126,6 +130,8 @@ func (s *prepSlot) storePaths(paths []Path, stats PreprocessStats) {
 
 // prepareSlot runs one subcarrier's channel-rate work (sorted QR + per-
 // level model) into slot s using the caller-owned QR workspace.
+//
+//flexcore:noalloc
 func (d *FlexCore) prepareSlot(s *prepSlot, h *cmatrix.Matrix, sigma2 float64, ws *cmatrix.QRWorkspace) {
 	ws.SortedQRInto(h, d.opts.Ordering, &s.qr)
 	NewModelInto(&s.model, s.qr.R, sigma2, d.cons)
@@ -133,6 +139,8 @@ func (d *FlexCore) prepareSlot(s *prepSlot, h *cmatrix.Matrix, sigma2 float64, w
 
 // findSlotPaths runs the pre-processing tree search for slot s with the
 // caller-owned finder and stores the result in the slot's arenas.
+//
+//flexcore:noalloc
 func (d *FlexCore) findSlotPaths(s *prepSlot, f *pathFinder) {
 	paths, stats := f.find(&s.model, d.opts.NPE, d.opts.Threshold)
 	s.storePaths(paths, stats)
@@ -154,25 +162,18 @@ func (d *FlexCore) findSlotPaths(s *prepSlot, f *pathFinder) {
 // looping Prepare over the channels. PrepareAll leaves no subcarrier
 // selected: call Select(k) before detecting. The frame state is valid
 // until the next PrepareAll call (scalar Prepare does not disturb it).
+//
+//flexcore:noalloc
 func (d *FlexCore) PrepareAll(hs []*cmatrix.Matrix, sigma2 float64) error {
-	if len(hs) == 0 {
-		return fmt.Errorf("core: PrepareAll needs at least one channel")
-	}
-	nr, n := hs[0].Rows, hs[0].Cols
-	if nr < n {
-		return fmt.Errorf("core: need receive antennas ≥ streams, got %d×%d", nr, n)
-	}
-	for k, h := range hs {
-		if h.Rows != nr || h.Cols != n {
-			return fmt.Errorf("core: PrepareAll channels must share one geometry, subcarrier %d is %d×%d (frame is %d×%d)",
-				k, h.Rows, h.Cols, nr, n)
-		}
+	nr, n, err := validateFrameGeometry(hs)
+	if err != nil {
+		return err
 	}
 	d.n = n
-	d.ensureScratch()
+	d.ensureScratch() //lint:ignore noalloc amortised: the inlined grow helper allocates only when the stream count changes
 	if cap(d.frame) < len(hs) {
-		grown := make([]prepSlot, len(hs))
-		copy(grown, d.frame) // keep the arenas already grown in old slots
+		grown := make([]prepSlot, len(hs)) //lint:ignore noalloc amortised: frame arena regrows only when the subcarrier count grows
+		copy(grown, d.frame)               // keep the arenas already grown in old slots
 		d.frame = grown
 	}
 	d.frame = d.frame[:len(hs)]
@@ -213,7 +214,7 @@ func (d *FlexCore) PrepareAll(hs []*cmatrix.Matrix, sigma2 float64) error {
 			}
 		}
 		base = int32(k)
-		d.missIdx = append(d.missIdx, int32(k))
+		d.missIdx = append(d.missIdx, int32(k)) //lint:ignore noalloc amortised: miss list is reset to len 0 and reuses its frame-sized capacity
 	}
 
 	// Stage 3 — pre-processing tree search for the fresh slots.
@@ -254,6 +255,27 @@ func (d *FlexCore) PrepareAll(hs []*cmatrix.Matrix, sigma2 float64) error {
 	return nil
 }
 
+// validateFrameGeometry checks that a PrepareAll frame is non-empty and
+// that every subcarrier shares one tall geometry, returning it. It is
+// the cold error path of PrepareAll, kept outside the noalloc-annotated
+// steady state because its error formatting necessarily allocates.
+func validateFrameGeometry(hs []*cmatrix.Matrix) (nr, n int, err error) {
+	if len(hs) == 0 {
+		return 0, 0, fmt.Errorf("core: PrepareAll needs at least one channel")
+	}
+	nr, n = hs[0].Rows, hs[0].Cols
+	if nr < n {
+		return 0, 0, fmt.Errorf("core: need receive antennas ≥ streams, got %d×%d", nr, n)
+	}
+	for k, h := range hs {
+		if h.Rows != nr || h.Cols != n {
+			return 0, 0, fmt.Errorf("core: PrepareAll channels must share one geometry, subcarrier %d is %d×%d (frame is %d×%d)",
+				k, h.Rows, h.Cols, nr, n)
+		}
+	}
+	return nr, n, nil
+}
+
 // FrameSize returns the number of subcarriers prepared by the last
 // PrepareAll (0 before the first).
 func (d *FlexCore) FrameSize() int { return d.frameN }
@@ -261,9 +283,11 @@ func (d *FlexCore) FrameSize() int { return d.frameN }
 // Select activates subcarrier k of the frame prepared by PrepareAll:
 // subsequent Detect/DetectBatch/DetectSoft calls run against its
 // channel. It is a pointer swap — O(1), no math, no allocation.
+//
+//flexcore:noalloc
 func (d *FlexCore) Select(k int) error {
 	if k < 0 || k >= d.frameN {
-		return fmt.Errorf("core: Select(%d) outside the prepared frame of %d subcarriers", k, d.frameN)
+		return fmt.Errorf("core: Select(%d) outside the prepared frame of %d subcarriers", k, d.frameN) //lint:ignore noalloc cold validation path, never taken in steady state
 	}
 	s := &d.frame[k]
 	d.qr = &s.qr

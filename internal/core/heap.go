@@ -38,7 +38,7 @@ type candNode struct {
 // worse reports whether a ranks strictly below b: lower logP, or equal
 // logP and later insertion. It is a total order (seq is unique).
 func (a *candNode) worse(b *candNode) bool {
-	if a.logP != b.logP {
+	if a.logP != b.logP { //lint:ignore floatcmp comparator: exact ties must hit the seq tie-break for bit-identical extraction order
 		return a.logP < b.logP
 	}
 	return a.seq > b.seq
@@ -49,8 +49,10 @@ func (a *candNode) worse(b *candNode) bool {
 type candHeap []candNode
 
 // push inserts a candidate.
+//
+//flexcore:noalloc
 func (h *candHeap) push(n candNode) {
-	a := append(*h, n)
+	a := append(*h, n) //lint:ignore noalloc amortised: capacity is reserved by the finder and retained across frames
 	*h = a
 	j := len(a) - 1
 	for j > 0 {
@@ -64,6 +66,8 @@ func (h *candHeap) push(n candNode) {
 }
 
 // popMax removes and returns the best candidate.
+//
+//flexcore:noalloc
 func (h *candHeap) popMax() candNode {
 	a := *h
 	top := a[0]
@@ -76,6 +80,8 @@ func (h *candHeap) popMax() candNode {
 }
 
 // siftDown restores the heap property below i.
+//
+//flexcore:noalloc
 func (h candHeap) siftDown(i int) {
 	for {
 		c := 2*i + 1
@@ -96,6 +102,8 @@ func (h candHeap) siftDown(i int) {
 // compact trims the heap to its k best candidates (quickselect, then
 // re-heapify). By the trim-neutrality argument above this never changes
 // which candidates get extracted.
+//
+//flexcore:noalloc
 func (h *candHeap) compact(k int) {
 	a := *h
 	if len(a) <= k {
@@ -112,6 +120,8 @@ func (h *candHeap) compact(k int) {
 // selectBest partially partitions a so its k best candidates (under the
 // worse-order) occupy a[:k], in arbitrary order — an iterative
 // median-of-three quickselect.
+//
+//flexcore:noalloc
 func selectBest(a []candNode, k int) {
 	lo, hi := 0, len(a)
 	for hi-lo > 1 {

@@ -83,6 +83,8 @@ func newPool(d *FlexCore, workers int) *pool {
 
 // dispatch wakes every worker for the job currently described by the
 // pool's fields and blocks until all of them finish.
+//
+//flexcore:noalloc
 func (p *pool) dispatch() {
 	p.wg.Add(len(p.workers))
 	for _, w := range p.workers {
@@ -136,6 +138,8 @@ func (w *poolWorker) ensure(d *FlexCore) {
 // runPaths evaluates the worker's stride of the selected paths against
 // the shared rotated vector, keeping a local minimum (merged by the
 // dispatcher — the minimum tree of Fig. 2).
+//
+//flexcore:noalloc
 func (p *pool) runPaths(w *poolWorker) {
 	d := p.d
 	w.ped = math.Inf(1)
@@ -152,6 +156,8 @@ func (p *pool) runPaths(w *poolWorker) {
 
 // runBatch fully detects the worker's stride of the burst's vectors,
 // writing unpermuted results straight into the shared arena slots.
+//
+//flexcore:noalloc
 func (p *pool) runBatch(w *poolWorker) {
 	d := p.d
 	w.fallbk = 0
@@ -167,6 +173,8 @@ func (p *pool) runBatch(w *poolWorker) {
 // worker's stride of the frame's subcarriers, each into its own slot
 // with worker-owned scratch (slots are disjoint across workers, so the
 // stage is lock-free).
+//
+//flexcore:noalloc
 func (p *pool) runPrepModel(w *poolWorker) {
 	d := p.d
 	stride := len(p.workers)
@@ -177,6 +185,8 @@ func (p *pool) runPrepModel(w *poolWorker) {
 
 // runPrepPaths runs the pre-processing tree search for the worker's
 // stride of the frame's fresh slots, using the worker's pooled finder.
+//
+//flexcore:noalloc
 func (p *pool) runPrepPaths(w *poolWorker) {
 	d := p.d
 	stride := len(p.workers)

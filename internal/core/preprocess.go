@@ -78,6 +78,8 @@ func (f *pathFinder) ensure(n, nPE int) {
 
 // find runs the pre-processing tree search of §3.1.1 (see FindPaths for
 // the algorithm contract) into the finder's pooled storage.
+//
+//flexcore:noalloc
 func (f *pathFinder) find(m *Model, nPE int, stopThreshold float64) ([]Path, PreprocessStats) {
 	var stats PreprocessStats
 	n := m.Levels()
@@ -96,7 +98,7 @@ func (f *pathFinder) find(m *Model, nPE int, stopThreshold float64) ([]Path, Pre
 	if float64(nPE) > total {
 		nPE = int(total)
 	}
-	f.ensure(n, nPE)
+	f.ensure(n, nPE) //lint:ignore noalloc amortised: the inlined arena helper allocates only when the search shape changes
 
 	// Root: the all-ones position vector.
 	seq := int32(0)
@@ -118,7 +120,7 @@ func (f *pathFinder) find(m *Model, nPE int, stopThreshold float64) ([]Path, Pre
 			res[node.lastInc]++
 		}
 		parent := int32(len(f.paths))
-		f.paths = append(f.paths, Path{Ranks: res, LogP: node.logP})
+		f.paths = append(f.paths, Path{Ranks: res, LogP: node.logP}) //lint:ignore noalloc amortised: ensure reserves cap nPE and the loop emits at most nPE paths
 		cumulative += math.Exp(node.logP)
 		stats.Expanded++
 		if stopThreshold > 0 && cumulative >= stopThreshold {

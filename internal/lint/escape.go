@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// This file implements the -escapes cross-check of cmd/flexlint: the
+// AST-level noalloc analyzer proves the absence of allocation *syntax*
+// inside //flexcore:noalloc functions; the escape cross-check parses
+// the compiler's own escape-analysis notes (`go build -gcflags=-m`) and
+// reports any value the compiler decided to heap-allocate inside an
+// annotated function — catching allocations the syntax cannot show
+// (escaping locals, spilled variables).
+
+// FuncRange is the source extent of one annotated function.
+type FuncRange struct {
+	File      string // absolute path
+	Name      string
+	StartLine int
+	EndLine   int
+}
+
+// NoallocRanges returns the source ranges of every function in the
+// module annotated //flexcore:noalloc.
+func (m *Module) NoallocRanges() []FuncRange {
+	var out []FuncRange
+	for _, pkg := range m.Pkgs {
+		for i, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !hasNoallocDirective(fd) {
+					continue
+				}
+				out = append(out, FuncRange{
+					File:      pkg.Names[i],
+					Name:      fd.Name.Name,
+					StartLine: m.Fset.Position(fd.Pos()).Line,
+					EndLine:   m.Fset.Position(fd.End()).Line,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// escapeNote matches the -m lines that indicate a heap allocation:
+//
+//	internal/core/flexcore.go:217:12: make([]int, d.n) escapes to heap
+//	internal/core/pool.go:77:8: moved to heap: w
+var escapeNote = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*(?:escapes to heap|moved to heap).*)$`)
+
+// EscapeDiagnostics parses `go build -gcflags=-m` output and returns a
+// diagnostic for every heap allocation the compiler placed inside an
+// annotated //flexcore:noalloc function. File names in the build output
+// are resolved relative to the module root. The result is unfiltered;
+// pass it through Module.FilterSuppressed so //lint:ignore noalloc
+// comments cover both the AST and the escape findings.
+func EscapeDiagnostics(mod *Module, buildOutput []byte) []Diagnostic {
+	ranges := mod.NoallocRanges()
+	if len(ranges) == 0 {
+		return nil
+	}
+	byFile := map[string][]FuncRange{}
+	for _, r := range ranges {
+		byFile[r.File] = append(byFile[r.File], r)
+	}
+	var out []Diagnostic
+	for _, line := range strings.Split(string(buildOutput), "\n") {
+		sub := escapeNote.FindStringSubmatch(strings.TrimSpace(line))
+		if sub == nil {
+			continue
+		}
+		file := sub[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(mod.Root, file)
+		}
+		lineNo, _ := strconv.Atoi(sub[2])
+		col, _ := strconv.Atoi(sub[3])
+		note := sub[4]
+		// "leaking param" style notes also contain no allocation; the
+		// regexp already restricts to escapes/moved-to-heap.
+		for _, r := range byFile[file] {
+			if lineNo >= r.StartLine && lineNo <= r.EndLine {
+				d := Diagnostic{Analyzer: "noalloc", Message: fmt.Sprintf("escape analysis: %s inside //flexcore:noalloc %s", note, r.Name)}
+				d.Pos.Filename = file
+				d.Pos.Line = lineNo
+				d.Pos.Column = col
+				out = append(out, d)
+				break
+			}
+		}
+	}
+	return out
+}

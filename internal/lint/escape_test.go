@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestEscapeDiagnostics feeds synthetic `go build -gcflags=-m` output
+// through the escape cross-check: a heap note inside an annotated
+// function must be reported (under the noalloc analyzer name, so
+// //lint:ignore noalloc covers it), notes outside annotated functions
+// and non-allocation notes must not.
+func TestEscapeDiagnostics(t *testing.T) {
+	mod, err := LoadModule("testdata/module")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges := mod.NoallocRanges()
+	var scratch FuncRange
+	for _, r := range ranges {
+		if r.Name == "scratch" {
+			scratch = r
+		}
+	}
+	if scratch.Name == "" {
+		t.Fatal("fixture function scratch not found in NoallocRanges")
+	}
+	inside := scratch.StartLine + 1
+	build := strings.Join([]string{
+		// Relative path, inside an annotated function: reported.
+		fmt.Sprintf("hot/hot.go:%d:9: make([]float64, n) escapes to heap", inside),
+		// Same line, non-allocation note: ignored.
+		fmt.Sprintf("hot/hot.go:%d:14: leaking param: n", inside),
+		// Outside any annotated function: ignored.
+		"hot/hot.go:10000:1: make([]int, 4) escapes to heap",
+		// Unrelated file: ignored.
+		"pool/pool.go:7:2: moved to heap: bufs",
+		"# fixture/hot",
+	}, "\n")
+	diags := EscapeDiagnostics(mod, []byte(build))
+	if len(diags) != 1 {
+		t.Fatalf("want exactly 1 escape diagnostic, got %d: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "noalloc" {
+		t.Errorf("escape findings must report as noalloc (shared suppressions), got %q", d.Analyzer)
+	}
+	if !strings.Contains(d.Message, "escapes to heap") || !strings.Contains(d.Message, "scratch") {
+		t.Errorf("unexpected message %q", d.Message)
+	}
+	if d.Pos.Line != inside {
+		t.Errorf("diagnostic at line %d, want %d", d.Pos.Line, inside)
+	}
+}
+
+// TestNoallocRangesCoverFixture spot-checks the annotated-function
+// index the escape mode is built on.
+func TestNoallocRangesCoverFixture(t *testing.T) {
+	mod, err := LoadModule("testdata/module")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, r := range mod.NoallocRanges() {
+		if r.EndLine < r.StartLine {
+			t.Errorf("inverted range for %s: %d..%d", r.Name, r.StartLine, r.EndLine)
+		}
+		names[r.Name] = true
+	}
+	for _, want := range []string{"grow", "scratch", "box", "amortized"} {
+		if !names[want] {
+			t.Errorf("annotated fixture %s missing from NoallocRanges", want)
+		}
+	}
+	if names["unannotated"] {
+		t.Error("unannotated function wrongly indexed as noalloc")
+	}
+}

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Floatcmp forbids == and != on floating-point and complex operands.
+// The conformance work of CHANGES.md PR 2 (the buildOrderLUT FP-tie
+// fix) showed how float equality silently turns algebraic identities
+// into rounding-dependent behaviour; the contract is that every exact
+// float comparison in the codebase is either rewritten as an
+// epsilon/ULP compare or carries a //lint:ignore floatcmp comment
+// saying why exact equality is correct there (sentinel "unset" checks,
+// exact-zero division guards, IEEE-exact copies). Comparisons where
+// both operands are compile-time constants are allowed.
+var Floatcmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "forbid ==/!= on float and complex operands outside annotated sites",
+	Run:  runFloatcmp,
+}
+
+func runFloatcmp(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloatish(pass.TypeOf(be.X)) && !isFloatish(pass.TypeOf(be.Y)) {
+				return true
+			}
+			if pass.Info.Types[be.X].Value != nil && pass.Info.Types[be.Y].Value != nil {
+				return true // constant folded at compile time
+			}
+			kind := "floating-point"
+			if isComplex(pass.TypeOf(be.X)) || isComplex(pass.TypeOf(be.Y)) {
+				kind = "complex"
+			}
+			pass.Reportf(be.OpPos, "exact %s comparison %s — use an epsilon/ULP compare, or //lint:ignore floatcmp with why exact equality is correct", kind, types.ExprString(be))
+			return true
+		})
+	}
+}
+
+func isFloatish(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+func isComplex(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsComplex != 0
+}

@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Opcount enforces the paper's accounting contract (Tables 1–2): every
+// exported detector entry point — Detect, DetectBatch, DetectSoft,
+// Prepare, PrepareAll methods in internal/detector and internal/core —
+// must thread OpCount/PreprocessStats accounting to the math it runs,
+// directly or through same-package callees. A detector whose entry
+// point updates no counter reports free work, silently corrupting the
+// complexity comparisons the experiments are built on. The check is a
+// reachability question over the package-local call graph: from the
+// entry point's body, some reachable function must write an
+// OpCount/PreprocessStats field (or call a method on one, e.g. Add).
+var Opcount = &Analyzer{
+	Name:     "opcount",
+	Doc:      "exported detector entry points must reach OpCount accounting",
+	Packages: []string{"internal/detector", "internal/core"},
+	Run:      runOpcount,
+}
+
+// opcountEntryPoints are the method names that constitute the public
+// detection protocol (detector.Detector / BatchDetector plus the frame
+// entry points).
+var opcountEntryPoints = map[string]bool{
+	"Detect": true, "DetectBatch": true, "DetectSoft": true,
+	"Prepare": true, "PrepareAll": true,
+}
+
+// accountingTypes are the counter structs whose mutation counts as
+// accounting.
+var accountingTypes = map[string]bool{"OpCount": true, "PreprocessStats": true}
+
+func runOpcount(pass *Pass) {
+	// Index every function/method declaration of the package.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	// Per declaration: does it account directly, and whom does it call?
+	accounts := map[*types.Func]bool{}
+	calls := map[*types.Func][]*types.Func{}
+	for fn, fd := range decls {
+		accounts[fn] = accountsDirectly(pass, fd)
+		calls[fn] = packageCallees(pass, fd)
+	}
+	reaches := func(root *types.Func) bool {
+		seen := map[*types.Func]bool{}
+		stack := []*types.Func{root}
+		for len(stack) > 0 {
+			fn := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[fn] {
+				continue
+			}
+			seen[fn] = true
+			if accounts[fn] {
+				return true
+			}
+			stack = append(stack, calls[fn]...)
+		}
+		return false
+	}
+	for fn, fd := range decls {
+		if fd.Recv == nil || !fn.Exported() || !opcountEntryPoints[fn.Name()] {
+			continue
+		}
+		if !reaches(fn) {
+			pass.Reportf(fd.Name.Pos(), "exported entry point %s performs no OpCount accounting, directly or via same-package callees — the detector's work is invisible to the complexity comparison", fn.Name())
+		}
+	}
+}
+
+// accountsDirectly reports whether the function body mutates an
+// OpCount/PreprocessStats value or calls a method on one.
+func accountsDirectly(pass *Pass, fd *ast.FuncDecl) bool {
+	found := false
+	touches := func(e ast.Expr) bool {
+		hit := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if hit {
+				return false
+			}
+			ex, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			if isAccountingType(pass.TypeOf(ex)) {
+				hit = true
+				return false
+			}
+			return true
+		})
+		return hit
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if touches(lhs) {
+					found = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if touches(n.X) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if isAccountingType(pass.TypeOf(sel.X)) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isAccountingType reports whether t is (a pointer to) a named type
+// called OpCount or PreprocessStats.
+func isAccountingType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && accountingTypes[n.Obj().Name()]
+}
+
+// packageCallees lists the same-package functions a body calls.
+func packageCallees(pass *Pass, fd *ast.FuncDecl) []*types.Func {
+	var out []*types.Func
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var id *ast.Ident
+		switch f := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			id = f
+		case *ast.SelectorExpr:
+			id = f.Sel
+		default:
+			return true
+		}
+		if fn, ok := pass.Info.Uses[id].(*types.Func); ok && fn.Pkg() == pass.Pkg {
+			out = append(out, fn)
+		}
+		return true
+	})
+	return out
+}

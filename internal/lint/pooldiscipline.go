@@ -1,0 +1,202 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Pooldiscipline enforces acquire/release pairing for pooled
+// resources: every sync.Pool Get — and every Acquire on a workspace
+// arena that offers a matching Release — must be paired with a release
+// on all paths of the same function, either through a defer or with a
+// release before every later return. The analysis is lexical (no full
+// CFG): a function is clean when it defers the release, or when every
+// return statement after the acquire is preceded, within the function,
+// by a release of the same receiver expression. Leaking a pooled
+// object is silent — the pool just allocates afresh forever — which is
+// exactly the class of regression that never fails a test but
+// dismantles the zero-allocation steady state.
+var Pooldiscipline = &Analyzer{
+	Name: "pooldiscipline",
+	Doc:  "sync.Pool Get / arena Acquire must have a matching Put/Release on every path",
+	Run:  runPooldiscipline,
+}
+
+// acquirePairs maps acquire method names to their release counterpart.
+var acquirePairs = map[string]string{
+	"Get":     "Put",     // sync.Pool only (classifyPoolCall checks the receiver type)
+	"Acquire": "Release", // workspace-arena convention: any type with both methods
+}
+
+func runPooldiscipline(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPoolFunc(pass, fd)
+		}
+	}
+}
+
+// poolEvent is one acquire, release or return site inside a function.
+type poolEvent struct {
+	pos      token.Pos
+	recv     string // normalized receiver expression, "" for returns
+	release  string // expected release method (acquires only)
+	method   string
+	kind     int // 0 acquire, 1 release, 2 return
+	deferred bool
+}
+
+func checkPoolFunc(pass *Pass, fd *ast.FuncDecl) {
+	var events []poolEvent
+	var scan func(n ast.Node, deferred bool)
+	scan = func(root ast.Node, deferred bool) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt:
+				// The deferred call itself (and a deferred closure body)
+				// runs on every exit path.
+				scan(n.Call, true)
+				return false
+			case *ast.FuncLit:
+				if !deferred {
+					return false // other closures: separate execution context
+				}
+				return true
+			case *ast.ReturnStmt:
+				events = append(events, poolEvent{pos: n.Pos(), kind: 2})
+			case *ast.CallExpr:
+				if ev, ok := classifyPoolCall(pass, n); ok {
+					ev.deferred = deferred
+					events = append(events, ev)
+				}
+			}
+			return true
+		})
+	}
+	scan(fd.Body, false)
+
+	// Pair up: for each acquire receiver, find releases.
+	type relInfo struct {
+		deferred bool
+		pos      []token.Pos
+	}
+	releases := map[string]*relInfo{}
+	for _, ev := range events {
+		if ev.kind != 1 {
+			continue
+		}
+		ri := releases[ev.recv+"."+ev.method]
+		if ri == nil {
+			ri = &relInfo{}
+			releases[ev.recv+"."+ev.method] = ri
+		}
+		ri.deferred = ri.deferred || ev.deferred
+		ri.pos = append(ri.pos, ev.pos)
+	}
+	for _, ev := range events {
+		if ev.kind != 0 {
+			continue
+		}
+		key := ev.recv + "." + ev.release
+		ri := releases[key]
+		if ri == nil {
+			pass.Reportf(ev.pos, "%s.%s has no matching %s in this function — release the pooled object on every path (defer %s.%s)",
+				ev.recv, ev.method, ev.release, ev.recv, ev.release)
+			continue
+		}
+		if ri.deferred {
+			continue // covers every path
+		}
+		// No defer: every return after the acquire needs a release
+		// between the acquire and that return.
+		for _, ret := range events {
+			if ret.kind != 2 || ret.pos < ev.pos {
+				continue
+			}
+			covered := false
+			for _, rp := range ri.pos {
+				if rp > ev.pos && rp < ret.pos {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				pass.Reportf(ret.pos, "return without releasing %s acquired by %s at line %d — add %s.%s before this return or defer it",
+					ev.recv, ev.method, pass.Fset.Position(ev.pos).Line, ev.recv, ev.release)
+			}
+		}
+	}
+}
+
+// classifyPoolCall decides whether a call is a pooled acquire or
+// release: a Get/Put on sync.Pool, or an Acquire/Release method pair
+// on any receiver type that offers both.
+func classifyPoolCall(pass *Pass, call *ast.CallExpr) (poolEvent, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return poolEvent{}, false
+	}
+	name := sel.Sel.Name
+	recvT := pass.TypeOf(sel.X)
+	if recvT == nil {
+		return poolEvent{}, false
+	}
+	recv := types.ExprString(sel.X)
+	switch name {
+	case "Get", "Put":
+		if !isSyncPool(recvT) {
+			return poolEvent{}, false
+		}
+	case "Acquire", "Release":
+		if !hasMethodPair(recvT, "Acquire", "Release") {
+			return poolEvent{}, false
+		}
+	default:
+		return poolEvent{}, false
+	}
+	ev := poolEvent{pos: call.Pos(), recv: recv, method: name}
+	if rel, isAcq := acquirePairs[name]; isAcq {
+		ev.kind = 0
+		ev.release = rel
+	} else {
+		ev.kind = 1
+	}
+	return ev, true
+}
+
+// isSyncPool reports whether t is sync.Pool or *sync.Pool (possibly
+// through named types).
+func isSyncPool(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Pool" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// hasMethodPair reports whether t (or *t) declares both named methods.
+func hasMethodPair(t types.Type, a, b string) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	foundA, foundB := false, false
+	ms := types.NewMethodSet(types.NewPointer(t))
+	for i := 0; i < ms.Len(); i++ {
+		switch ms.At(i).Obj().Name() {
+		case a:
+			foundA = true
+		case b:
+			foundB = true
+		}
+	}
+	return foundA && foundB
+}

@@ -1,0 +1,55 @@
+package lint
+
+// Run executes the analyzers over the packages of mod selected by
+// patterns (nil = every package), applies //lint:ignore suppressions
+// and returns the surviving diagnostics sorted by position. Malformed
+// suppression comments in the analyzed packages are reported under the
+// "lint" analyzer name and cannot themselves be suppressed.
+func Run(mod *Module, patterns []string, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	selected := mod.Match(patterns)
+	selectedSet := map[string]bool{}
+	for _, pkg := range selected {
+		selectedSet[pkg.Path] = true
+	}
+	for _, pkg := range selected {
+		for _, a := range analyzers {
+			if !a.AppliesTo(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     mod.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			a.Run(pass)
+		}
+	}
+	_, bad := mod.Suppressions()
+	for _, d := range bad {
+		if selectedSet[pkgPathForFile(mod, d.Pos.Filename)] {
+			diags = append(diags, d)
+		}
+	}
+	return mod.FilterSuppressed(diags)
+}
+
+// pkgPathForFile maps a file name back to its package import path.
+func pkgPathForFile(mod *Module, filename string) string {
+	for _, pkg := range mod.Pkgs {
+		if _, ok := pkg.Src[filename]; ok {
+			return pkg.Path
+		}
+	}
+	return ""
+}
+
+// DefaultAnalyzers returns the analyzer suite flexlint ships: the
+// repository's determinism, zero-allocation, float-comparison, pool-
+// discipline and OpCount-accounting contracts.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{Noalloc, Determinism, Floatcmp, Pooldiscipline, Opcount}
+}

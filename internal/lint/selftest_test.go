@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRepositoryIsLintClean is the self-test behind the CI gate: the
+// repository itself, analyzed with the shipped suite, must produce no
+// findings — every genuine violation fixed, every intentional site
+// annotated with a reasoned //lint:ignore.
+func TestRepositoryIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-repository analysis is not short")
+	}
+	mod, err := LoadModule("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.Path != "flexcore" {
+		t.Fatalf("loaded module %q, want the repository root module", mod.Path)
+	}
+	diags := Run(mod, nil, DefaultAnalyzers())
+	for _, d := range diags {
+		t.Errorf("repository finding: %s", d)
+	}
+}
+
+// TestFixtureGolden pins the exact diagnostic stream of the fixture
+// module — positions, messages, analyzer names, suppression filtering
+// and sort order — against testdata/fixture.golden. Regenerate with
+//
+//	go test ./internal/lint -run TestFixtureGolden -update
+func TestFixtureGolden(t *testing.T) {
+	mod, err := LoadModule("testdata/module")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(mod, nil, DefaultAnalyzers())
+	var b strings.Builder
+	for _, d := range diags {
+		rel, err := filepath.Rel(mod.Root, d.Pos.Filename)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Pos.Filename = filepath.ToSlash(rel)
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	got := b.String()
+	golden := filepath.Join("testdata", "fixture.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("fixture diagnostics drifted from golden.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

@@ -1,0 +1,3 @@
+module mismatch
+
+go 1.22

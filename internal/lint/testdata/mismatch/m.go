@@ -1,0 +1,12 @@
+// Package m exists to fail the want harness in both directions: eq has
+// a finding but no want, two has a want but no finding. Used only by
+// TestWantMismatchReporting, never by the passing fixture tests.
+package m
+
+func eq(a, b float64) bool {
+	return a == b
+}
+
+func two() int {
+	return 2 // want "this diagnostic never fires"
+}

@@ -1,0 +1,102 @@
+// Package hot is the noalloc fixture: //flexcore:noalloc-annotated
+// functions seeded with one instance of every allocation class the
+// analyzer recognizes, plus negative cases that must stay silent.
+package hot
+
+type point struct{ x, y float64 }
+
+//flexcore:noalloc
+func grow(xs []int, v int) []int {
+	return append(xs, v) // want "append may grow its backing array"
+}
+
+//flexcore:noalloc
+func scratch(n int) []float64 {
+	return make([]float64, n) // want "make allocates"
+}
+
+//flexcore:noalloc
+func fresh() *point {
+	return new(point) // want "new allocates"
+}
+
+//flexcore:noalloc
+func table() []int {
+	return []int{1, 2, 3} // want "slice literal allocates"
+}
+
+//flexcore:noalloc
+func index() map[string]int {
+	return map[string]int{"a": 1} // want "map literal allocates"
+}
+
+//flexcore:noalloc
+func ref() *point {
+	return &point{x: 1} // want "composite literal allocates"
+}
+
+//flexcore:noalloc
+func capture(start int) func() int {
+	i := start
+	return func() int { // want "closure captures i"
+		i++
+		return i
+	}
+}
+
+//flexcore:noalloc
+func spawn(f func()) {
+	go f() // want "go statement allocates a goroutine"
+}
+
+//flexcore:noalloc
+func join(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+//flexcore:noalloc
+func stringify(bs []byte) string {
+	return string(bs) // want "conversion to string allocates"
+}
+
+//flexcore:noalloc
+func box(v int) any {
+	return v // want "boxes into interface"
+}
+
+// Negative cases — all of these must produce no finding.
+
+//flexcore:noalloc
+func valueLiteral() point {
+	return point{x: 1, y: 2} // value struct literal: stack, no allocation
+}
+
+//flexcore:noalloc
+func staticClosure() func(int) int {
+	return func(v int) int { return v + 1 } // captures nothing: static
+}
+
+//flexcore:noalloc
+func constBox() any {
+	return 42 // untyped constant boxes to static data
+}
+
+//flexcore:noalloc
+func guarded(xs []int) int {
+	if len(xs) == 0 {
+		panic("hot: empty input") // constant string: no boxing allocation
+	}
+	return xs[0]
+}
+
+//flexcore:noalloc
+func amortized(xs []int, v int) []int {
+	return append(xs, v) //lint:ignore noalloc fixture: capacity reserved by the caller
+}
+
+// unannotated may allocate freely; the analyzer only checks opted-in
+// functions.
+func unannotated(n int) []int {
+	out := make([]int, n)
+	return append(out, n)
+}

@@ -1,0 +1,53 @@
+package core
+
+import "sync"
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "map iteration writes to out"
+	}
+	return out
+}
+
+func total(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want "map iteration writes to sum"
+	}
+	return sum
+}
+
+func invert(m map[string]int, into map[string]int) {
+	for k, v := range m {
+		into[k] = v // indexed by the range key: order-independent, legal
+	}
+}
+
+func localPerIteration(m map[string][]int) int {
+	n := 0
+	for k := range m {
+		c := len(m[k])
+		if c > n { // reads are fine; the write below targets a loop-local
+			_ = c
+		}
+	}
+	return n
+}
+
+func gather(parts [][]int) []int {
+	var (
+		out []int
+		wg  sync.WaitGroup
+	)
+	for i := range parts {
+		p := parts[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out = append(out, p...) // want "goroutine appends to out"
+		}()
+	}
+	wg.Wait()
+	return out
+}

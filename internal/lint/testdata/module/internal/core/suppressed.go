@@ -1,0 +1,21 @@
+package core
+
+import "time"
+
+// Suppression fixtures: every violation below carries a //lint:ignore,
+// so this file must produce no diagnostics at all — the harness fails
+// on any unexpected finding, which is how silence gets asserted.
+
+func inlineSuppressed() int64 {
+	return time.Now().UnixNano() //lint:ignore determinism fixture: inline suppression silences its own line
+}
+
+func standaloneSuppressed() int64 {
+	//lint:ignore determinism fixture: standalone suppression silences the next line
+	return time.Now().UnixNano()
+}
+
+func multiSuppressed(a float64) bool {
+	//lint:ignore determinism,floatcmp fixture: one comment can silence several analyzers on one line
+	return a == float64(time.Now().Unix())
+}

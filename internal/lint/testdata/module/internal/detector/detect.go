@@ -1,0 +1,50 @@
+package detector
+
+// OpCount mirrors the repository's operation-counter struct; the
+// opcount analyzer matches the type by name.
+type OpCount struct {
+	RealMuls int64
+	FLOPs    int64
+}
+
+// Good accounts through a same-package callee: the entry point itself
+// holds no counter writes, exercising the call-graph reachability.
+type Good struct {
+	ops OpCount
+}
+
+func (g *Good) Detect(y []float64) []int {
+	g.tally(len(y))
+	return nil
+}
+
+func (g *Good) tally(n int) {
+	g.ops.RealMuls += int64(n)
+	g.ops.FLOPs += 2 * int64(n)
+}
+
+// Bad is the seeded violation: an exported entry point whose work never
+// reaches an OpCount write.
+type Bad struct {
+	ops OpCount
+}
+
+func (b *Bad) Detect(y []float64) []int { // want "exported entry point Detect performs no OpCount accounting"
+	out := make([]int, len(y))
+	return out
+}
+
+func (b *Bad) Prepare(sigma2 float64) error { // want "exported entry point Prepare performs no OpCount accounting"
+	return nil
+}
+
+// Null is a suppressed stub: no arithmetic happens, so there is nothing
+// to account, and the ignore documents that.
+type Null struct{}
+
+//lint:ignore opcount fixture: stub detector performs no arithmetic
+func (n *Null) Detect(y []float64) []int { return nil }
+
+// detectHelper is unexported and not an entry point; no accounting
+// required.
+func detectHelper(y []float64) int { return len(y) }

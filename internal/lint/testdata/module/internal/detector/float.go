@@ -1,0 +1,27 @@
+// Package detector is the floatcmp/opcount fixture: it mirrors the
+// real repository's internal/detector import path.
+package detector
+
+func eq(a, b float64) bool {
+	return a == b // want "exact floating-point comparison a == b"
+}
+
+func neq(a, b complex128) bool {
+	return a != b // want "exact complex comparison a != b"
+}
+
+func mixed(a float64, n int) bool {
+	return a == float64(n) // want "exact floating-point comparison"
+}
+
+func constFolded() bool {
+	return 1.0 == 2.0/2.0 // both operands constant: folded, legal
+}
+
+func sentinel(x float64) bool {
+	return x == 0 //lint:ignore floatcmp fixture: exact-zero sentinel comparison is intentional
+}
+
+func intsAreFine(a, b int) bool {
+	return a == b
+}

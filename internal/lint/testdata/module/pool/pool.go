@@ -1,0 +1,44 @@
+// Package pool is the pooldiscipline fixture: sync.Pool Get/Put and
+// Acquire/Release arena pairings, balanced and leaking.
+package pool
+
+import "sync"
+
+var bufs sync.Pool
+
+func leak() []byte {
+	buf := bufs.Get().([]byte) // want "bufs.Get has no matching Put"
+	return buf[:0]
+}
+
+func balanced() int {
+	buf := bufs.Get().([]byte)
+	defer bufs.Put(buf)
+	return len(buf)
+}
+
+func releasedBeforeReturn() int {
+	buf := bufs.Get().([]byte)
+	n := len(buf)
+	bufs.Put(buf)
+	return n
+}
+
+type arena struct {
+	free [][]int
+}
+
+func (a *arena) Acquire() []int       { return nil }
+func (a *arena) Release(s []int)      { a.free = append(a.free, s) }
+func (a *arena) sizeOf(s []int) int   { return len(s) }
+func (a *arena) with(f func([]int))   { s := a.Acquire(); defer a.Release(s); f(s) }
+func notAPool(ch chan int, v int) int { ch <- v; return <-ch }
+
+func missedPath(a *arena, fail bool) int {
+	s := a.Acquire()
+	if fail {
+		return 0 // want "return without releasing a acquired by Acquire"
+	}
+	a.Release(s)
+	return a.sizeOf(s)
+}

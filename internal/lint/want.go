@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// This file is the fixture-driven test harness of the framework, in the
+// style of golang.org/x/tools' analysistest but stdlib-only: fixture
+// sources carry expectations as trailing comments
+//
+//	total++ // want "map iteration writes to total"
+//
+// where each quoted string is a regular expression that must match the
+// message of exactly one diagnostic reported on that line. A line may
+// carry several expectations (`// want "a" "b"`). The harness fails the
+// test for every diagnostic with no matching expectation and for every
+// expectation with no matching diagnostic, so fixtures pin both the
+// positives and the silence of everything else.
+
+// TestReporter is the subset of *testing.T the harness needs; tests of
+// the harness itself substitute a recording fake.
+type TestReporter interface {
+	Errorf(format string, args ...any)
+}
+
+// wantExpectation is one parsed `// want` regexp.
+type wantExpectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// wantMarker introduces expectations in fixture sources.
+const wantMarker = "// want "
+
+// RunWantTest loads the module rooted at dir, runs the analyzers over
+// the packages selected by patterns (nil = all), applies suppressions,
+// and checks the surviving diagnostics against the fixture's `// want`
+// comments, reporting every mismatch through t.
+func RunWantTest(t TestReporter, dir string, patterns []string, analyzers ...*Analyzer) {
+	mod, err := LoadModule(dir)
+	if err != nil {
+		t.Errorf("loading fixture module %s: %v", dir, err)
+		return
+	}
+	selected := mod.Match(patterns)
+	if len(selected) == 0 {
+		t.Errorf("fixture module %s: no packages match %v", dir, patterns)
+		return
+	}
+	var wants []*wantExpectation
+	for _, pkg := range selected {
+		for filename, src := range pkg.Src {
+			ws, err := parseWants(filename, string(src))
+			if err != nil {
+				t.Errorf("%v", err)
+				return
+			}
+			wants = append(wants, ws...)
+		}
+	}
+	diags := Run(mod, patterns, analyzers)
+	for _, d := range diags {
+		if !claimWant(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// claimWant marks the first unmatched expectation covering d and
+// reports whether one existed.
+func claimWant(wants []*wantExpectation, d Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants extracts the `// want "re"...` expectations of one source
+// file. Expectations are trailing comments, so the marker is searched
+// per line; each quoted string after it is one regexp.
+func parseWants(filename, src string) ([]*wantExpectation, error) {
+	var out []*wantExpectation
+	for i, line := range strings.Split(src, "\n") {
+		idx := strings.Index(line, wantMarker)
+		if idx < 0 {
+			continue
+		}
+		rest := strings.TrimSpace(line[idx+len(wantMarker):])
+		for rest != "" {
+			q, err := strconv.QuotedPrefix(rest)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: malformed want comment %q: each expectation must be a quoted regexp", filename, i+1, rest)
+			}
+			raw, err := strconv.Unquote(q)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: malformed want string %s: %v", filename, i+1, q, err)
+			}
+			re, err := regexp.Compile(raw)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: want regexp %q does not compile: %v", filename, i+1, raw, err)
+			}
+			out = append(out, &wantExpectation{file: filename, line: i + 1, re: re, raw: raw})
+			rest = strings.TrimSpace(rest[len(q):])
+		}
+	}
+	return out, nil
+}

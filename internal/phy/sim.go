@@ -423,7 +423,7 @@ func (w *simWorker) simPacket(pkt int) (packetStats, error) {
 	// (their RNG draws interleave with the AWGN draws), so those runs keep
 	// the scalar Prepare path — either way the RNG stream and the
 	// detection outcomes are bit-identical to the per-subcarrier loop.
-	useFrame := w.frame != nil && cfg.PilotSymbols == 0 && cfg.EstErrorVar == 0
+	useFrame := w.frame != nil && cfg.PilotSymbols == 0 && cfg.EstErrorVar == 0 //lint:ignore floatcmp zero is the config's exact "genie CSI" sentinel
 	if useFrame {
 		if err := w.frame.PrepareAll(hs, w.sigma2); err != nil {
 			return st, fmt.Errorf("phy: prepare frame: %w", err)
