@@ -42,6 +42,7 @@ func main() {
 	workers := flag.Int("workers", 1, "packet-level simulation parallelism (0 = all cores); results are identical for any value")
 	detWorkers := flag.Int("detworkers", 0, "flexcore/aflexcore internal worker pool (0/1 = sequential; detection results are identical for any value)")
 	reuse := flag.Float64("reuse", -1, "coherence threshold for flexcore position-vector reuse across subcarriers (<0 = off; 0 = exact-match only; typical 0.05–0.2)")
+	backendName := flag.String("backend", "", "flexcore/aflexcore kernel backend: complex128 (default) or soa32 (float32 structure-of-arrays fast path)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -83,7 +84,11 @@ func main() {
 		Subcarriers:   *subcarriers,
 		OFDMSymbols:   *symbols,
 	}
-	det, err := makeDetector(strings.ToLower(*detName), cons, *npe, *detWorkers, *reuse)
+	backend, ok := core.ParseBackend(*backendName)
+	if !ok {
+		fatal(fmt.Errorf("unknown backend %q (want complex128 or soa32)", *backendName))
+	}
+	det, err := makeDetector(strings.ToLower(*detName), cons, *npe, *detWorkers, *reuse, backend)
 	if err != nil {
 		fatal(err)
 	}
@@ -116,7 +121,7 @@ func main() {
 		cfg.Workers = *workers
 		name, q, dw, ru := strings.ToLower(*detName), *npe, *detWorkers, *reuse
 		cfg.DetectorFactory = func() detector.Detector {
-			d, err := makeDetector(name, cons, q, dw, ru)
+			d, err := makeDetector(name, cons, q, dw, ru, backend)
 			if err != nil {
 				fatal(err)
 			}
@@ -128,6 +133,7 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("detector      %s\n", det.Name())
+	fmt.Printf("backend       %s\n", backend)
 	fmt.Printf("system        %d users × %d antennas, %d-QAM, rate-1/2, %.1f dB\n", *users, *antennas, *qam, *snr)
 	fmt.Printf("user packets  %d (%d errors)\n", res.UserPackets, res.PacketErrors)
 	fmt.Printf("PER           %.4f\n", res.PER)
@@ -150,8 +156,8 @@ func main() {
 	}
 }
 
-func makeDetector(name string, cons *constellation.Constellation, npe, detWorkers int, reuse float64) (detector.Detector, error) {
-	opts := core.Options{NPE: npe, Workers: detWorkers}
+func makeDetector(name string, cons *constellation.Constellation, npe, detWorkers int, reuse float64, backend core.Backend) (detector.Detector, error) {
+	opts := core.Options{NPE: npe, Workers: detWorkers, Backend: backend}
 	if reuse >= 0 {
 		opts.PathReuse = true
 		opts.ReuseThreshold = reuse

@@ -87,6 +87,21 @@ type FlexCore = core.FlexCore
 // Path is a pre-processing position vector with its model probability.
 type Path = core.Path
 
+// Backend selects the arithmetic kernels behind Options.Backend: the
+// complex128 reference implementation or the float32 structure-of-
+// arrays fast path (DESIGN.md §11).
+type Backend = core.Backend
+
+// The available hot-path kernel backends.
+const (
+	BackendComplex128 = core.BackendComplex128
+	BackendSoA32      = core.BackendSoA32
+)
+
+// ParseBackend maps a command-line spelling ("complex128", "soa32", …)
+// to a Backend; the empty string selects the default complex128.
+func ParseBackend(s string) (Backend, bool) { return core.ParseBackend(s) }
+
 // New returns a FlexCore detector for the constellation.
 func New(cons *Constellation, opts Options) *FlexCore { return core.New(cons, opts) }
 

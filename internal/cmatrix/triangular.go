@@ -17,9 +17,17 @@ package cmatrix
 //flexcore:noalloc
 func CancelRow(r *Matrix, ybar, sym []complex128, i int) complex128 {
 	b := ybar[i]
-	row := r.Data[i*r.Cols : (i+1)*r.Cols]
-	for j := i + 1; j < r.Cols; j++ {
-		b -= row[j] * sym[j]
+	n := r.Cols
+	// Reslice both operands to the row tail j ∈ (i, n) and pin sym to the
+	// row's length, so the loop body indexes with a range variable into
+	// slices of provably equal length: the compiler drops both
+	// per-iteration bounds checks (verified with -gcflags=-d=ssa/check_bce;
+	// see DESIGN.md §11.5). Only the three one-time reslice checks remain.
+	row := r.Data[i*n+i+1 : i*n+n]
+	tail := sym[i+1 : n]
+	tail = tail[:len(row)]
+	for j, rj := range row {
+		b -= rj * tail[j]
 	}
 	return b
 }

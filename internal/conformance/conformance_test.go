@@ -2,6 +2,7 @@ package conformance
 
 import (
 	"math"
+	"os"
 	"testing"
 
 	"flexcore/internal/core"
@@ -12,6 +13,36 @@ import (
 // computed along different floating-point paths (receive domain vs
 // QR-rotated domain).
 const distTol = 1e-9
+
+// soaDistTol is the distance tolerance when the float32 SoA backend is
+// active: the backend's conformance contract (DESIGN.md §11) pins
+// decisions, not distances, and its float32 PED ranking can disagree
+// with the float64 receive-domain metric by a few ULPs of the working
+// precision — ~1e-6 relative, bounded here with margin.
+const soaDistTol = 1e-5
+
+// envBackend returns the core backend selected by the FLEXCORE_BACKEND
+// environment variable — the axis of the CI test matrix. Empty means
+// the default complex128 backend; an unknown value fails the test
+// rather than silently running the wrong matrix leg.
+func envBackend(t testing.TB) core.Backend {
+	t.Helper()
+	b, ok := core.ParseBackend(os.Getenv("FLEXCORE_BACKEND"))
+	if !ok {
+		t.Fatalf("FLEXCORE_BACKEND=%q: unknown backend", os.Getenv("FLEXCORE_BACKEND"))
+	}
+	return b
+}
+
+// scoreTol is the receive-domain distance tolerance for the active
+// backend.
+func scoreTol(t testing.TB) float64 {
+	t.Helper()
+	if envBackend(t) == core.BackendSoA32 {
+		return soaDistTol
+	}
+	return distTol
+}
 
 // mlEnsembles are the seeded channel ensembles the acceptance criteria
 // pin: ≥ 200 channels per constellation/geometry with Nt ≤ 3, QPSK and
@@ -101,9 +132,14 @@ func TestSphereMatchesExhaustiveOracle(t *testing.T) {
 }
 
 // flexAt prepares a FlexCore detector with the given path budget on the
-// case's channel.
+// case's channel. Tests that leave Options.Backend at its default run
+// on the backend the CI matrix selects via FLEXCORE_BACKEND, so every
+// invariant in this file holds per backend.
 func flexAt(t *testing.T, c *Case, opts core.Options) *core.FlexCore {
 	t.Helper()
+	if opts.Backend == core.BackendComplex128 {
+		opts.Backend = envBackend(t)
+	}
 	fc := core.New(c.Cons, opts)
 	if err := fc.Prepare(c.H, c.Sigma2); err != nil {
 		t.Fatal(err)
@@ -128,6 +164,7 @@ func flexAt(t *testing.T, c *Case, opts core.Options) *core.FlexCore {
 //     envelope; its exact numerical behaviour is pinned by the golden
 //     corpus instead.
 func TestFlexCoreMonotoneAndConvergesToML(t *testing.T) {
+	tol := scoreTol(t)
 	forEachMLCase(t, func(t *testing.T, c *Case) {
 		full := c.Hypotheses()
 		if full > 256 {
@@ -149,7 +186,7 @@ func TestFlexCoreMonotoneAndConvergesToML(t *testing.T) {
 				fc := flexAt(t, c, core.Options{NPE: npe, ExactSlicer: exact})
 				for v := range c.Y {
 					d := c.Score(v, fc.Detect(c.Y[v]))
-					if d > prev[v]*(1+distTol)+distTol {
+					if d > prev[v]*(1+tol)+tol {
 						t.Fatalf("seed %d vector %d (exact=%v): distance %.12g at NPE=%d above %.12g at smaller budget",
 							c.Seed, v, exact, d, npe, prev[v])
 					}
@@ -165,7 +202,7 @@ func TestFlexCoreMonotoneAndConvergesToML(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if d := c.Score(v, fc.Detect(c.Y[v])); d > oracle.Dist*(1+distTol)+distTol {
+			if d := c.Score(v, fc.Detect(c.Y[v])); d > oracle.Dist*(1+tol)+tol {
 				t.Fatalf("seed %d vector %d: FlexCore(NPE=%d,exact) dist %.12g > ML %.12g",
 					c.Seed, v, full, d, oracle.Dist)
 			}
@@ -210,6 +247,8 @@ func allDetectors(c *Case) []detector.Detector {
 		core.New(c.Cons, core.Options{NPE: 8}),
 		core.New(c.Cons, core.Options{NPE: 16, Threshold: 0.95}),
 		core.New(c.Cons, core.Options{NPE: 16, Workers: 4}),
+		core.New(c.Cons, core.Options{NPE: 8, Backend: core.BackendSoA32}),
+		core.New(c.Cons, core.Options{NPE: 16, Workers: 4, Backend: core.BackendSoA32}),
 	}
 }
 

@@ -71,6 +71,19 @@ func buildOrderLUT(m, side int) *orderLUT {
 	return lut
 }
 
+// OrderOffsets returns a copy of the canonical-triangle offset table of
+// the predefined k-th-closest ordering: entry k−1 is the odd-integer
+// offset (in half-minimum-distance units) from the containing midpoint-
+// square centre to the k-th-ranked symbol for points in the canonical
+// triangle t1 (dx ≥ dy ≥ 0). Reduced-precision slicer implementations
+// (internal/kernel32) rebuild their lookup planes from this table so
+// both backends share one ordering definition.
+func (c *Constellation) OrderOffsets() [][2]int {
+	out := make([][2]int, len(c.lut.offsets))
+	copy(out, c.lut.offsets)
+	return out
+}
+
 // KthClosest returns the index of the constellation point with
 // (approximately) the k-th smallest Euclidean distance to z, k ≥ 1, using
 // the predefined per-triangle ordering. ok is false when the ordering

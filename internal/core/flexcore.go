@@ -59,6 +59,15 @@ type Options struct {
 	// pair — provably output-neutral (the conformance suite checks it).
 	// Typical OFDM operation uses 0.05–0.2 (see DESIGN.md §9).
 	ReuseThreshold float64
+	// Backend selects the hot-path arithmetic (DESIGN.md §11). The
+	// default BackendComplex128 is the reference scalar arithmetic;
+	// BackendSoA32 runs detection on float32 structure-of-arrays planes
+	// batched across the paths and the pre-processing search on a
+	// packed-key float32 heap. Decisions match the default backend on
+	// the conformance corpus; distances carry a documented ULP-scaled
+	// tolerance. ExactSlicer always detects with the scalar arithmetic
+	// regardless of Backend.
+	Backend Backend
 }
 
 // FlexCore is the paper's detector: channel-aware path pre-selection plus
@@ -102,7 +111,11 @@ type FlexCore struct {
 	qrws     cmatrix.QRWorkspace
 	modelOwn Model
 	finder   pathFinder
+	finder32 pathFinder32
 	reuse    reuseCache
+
+	// SoA-backend planes and scratch (Options.Backend == BackendSoA32).
+	soa soaState
 
 	// Frame state: per-subcarrier prepared slots filled by PrepareAll,
 	// activated by Select.
@@ -130,6 +143,9 @@ func (d *FlexCore) Name() string {
 	if d.opts.ExactSlicer {
 		suffix = ",exact"
 	}
+	if d.opts.Backend != BackendComplex128 {
+		suffix += "," + d.opts.Backend.String()
+	}
 	if d.opts.Threshold > 0 {
 		return fmt.Sprintf("a-FlexCore(NPE=%d,θ=%.2f%s)", d.opts.NPE, d.opts.Threshold, suffix)
 	}
@@ -156,6 +172,7 @@ func (d *FlexCore) Prepare(h *cmatrix.Matrix, sigma2 float64) error {
 	d.ensureScratch() //lint:ignore noalloc amortised: the inlined grow helper allocates only when the stream count changes
 	d.model = NewModelInto(&d.modelOwn, d.qr.R, sigma2, d.cons)
 	d.preparePaths(d.qr.R, sigma2)
+	d.soa.dirty = true
 	d.ops.Prepares++
 	muls := int64(4 * h.Rows * h.Cols * h.Cols)
 	d.ops.RealMuls += muls
@@ -177,7 +194,13 @@ func (d *FlexCore) preparePaths(r *cmatrix.Matrix, sigma2 float64) {
 			return
 		}
 	}
-	paths, stats := d.finder.find(d.model, d.opts.NPE, d.opts.Threshold)
+	var paths []Path
+	var stats PreprocessStats
+	if d.useSoA() {
+		paths, stats = d.finder32.find(d.model, d.opts.NPE, d.opts.Threshold)
+	} else {
+		paths, stats = d.finder.find(d.model, d.opts.NPE, d.opts.Threshold)
+	}
 	d.ppOps.RealMuls += stats.RealMuls
 	d.ppOps.Expanded += stats.Expanded
 	d.ppOps.CumulativeProb = stats.CumulativeProb
@@ -293,6 +316,9 @@ func (d *FlexCore) countDetections(vectors, ylen int) {
 //flexcore:noalloc
 func (d *FlexCore) Detect(y []complex128) []int {
 	d.countDetections(1, len(y))
+	if d.useSoA() {
+		return d.detectSoA(y)
+	}
 	// One or zero paths gain nothing from fan-out: take the sequential
 	// route before touching the pool.
 	if d.opts.Workers > 1 && len(d.paths) > 1 {
@@ -329,6 +355,12 @@ func (d *FlexCore) DetectBatch(ys [][]complex128) [][]int {
 	}
 	d.countDetections(len(ys), len(ys[0]))
 	out := d.batchSlots(len(ys)) //lint:ignore noalloc amortised: the inlined arena helper allocates only when the burst shape grows
+	soa := d.useSoA()
+	if soa {
+		// Refresh once on the dispatcher so the batch workers only read
+		// the planes.
+		d.soaRefresh()
+	}
 	if d.opts.Workers > 1 && len(ys) > 1 && len(d.paths) > 0 {
 		p := d.ensurePool()
 		p.kind = jobBatch
@@ -341,7 +373,13 @@ func (d *FlexCore) DetectBatch(ys [][]complex128) [][]int {
 		return out
 	}
 	for i, y := range ys {
-		if d.detectOne(y, d.ybar, d.idx, d.sym, d.best, out[i]) {
+		var fb bool
+		if soa {
+			fb = d.soaDetectOne(y, &d.soa.scratch, d.ybar, d.idx, d.sym, d.best, out[i])
+		} else {
+			fb = d.detectOne(y, d.ybar, d.idx, d.sym, d.best, out[i])
+		}
+		if fb {
 			d.fallbk++
 		}
 	}

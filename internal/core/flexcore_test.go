@@ -260,21 +260,36 @@ func TestFlexCoreNameIncludesVariant(t *testing.T) {
 	}
 }
 
+// benchBackends names the two hot-path backends for the sub-benchmarks
+// below; the acceptance record BENCH_PR6.json compares the pair.
+var benchBackends = []struct {
+	name    string
+	backend Backend
+}{
+	{"complex128", BackendComplex128},
+	{"soa32", BackendSoA32},
+}
+
 func BenchmarkFlexCoreDetect12x12_64QAM_128(b *testing.B) {
-	rng := newRng(208)
-	cons := constellation.MustNew(64)
-	fc := New(cons, Options{NPE: 128})
-	sigma2 := channel.Sigma2FromSNRdB(21.6, 1)
-	h := channel.Rayleigh(rng, 12, 12)
-	if err := fc.Prepare(h, sigma2); err != nil {
-		b.Fatal(err)
-	}
-	s := randSymbols(rng, cons, 12)
-	y := transmit(rng, h, cons, s, sigma2)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		fc.Detect(y)
+	for _, bb := range benchBackends {
+		b.Run(bb.name, func(b *testing.B) {
+			rng := newRng(208)
+			cons := constellation.MustNew(64)
+			fc := New(cons, Options{NPE: 128, Backend: bb.backend})
+			sigma2 := channel.Sigma2FromSNRdB(21.6, 1)
+			h := channel.Rayleigh(rng, 12, 12)
+			if err := fc.Prepare(h, sigma2); err != nil {
+				b.Fatal(err)
+			}
+			s := randSymbols(rng, cons, 12)
+			y := transmit(rng, h, cons, s, sigma2)
+			fc.Detect(y) // build the backend's planes outside the timed loop
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fc.Detect(y)
+			}
+		})
 	}
 }
 
@@ -285,10 +300,18 @@ func BenchmarkFlexCorePreprocess12x12_64QAM_128(b *testing.B) {
 	h := channel.Rayleigh(rng, 12, 12)
 	qr := cmatrix.SortedQR(h, cmatrix.OrderSQRD)
 	m := NewModel(qr.R, sigma2, cons)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		FindPaths(m, 128, 0)
+	for _, bb := range benchBackends {
+		b.Run(bb.name, func(b *testing.B) {
+			find := FindPaths
+			if bb.backend == BackendSoA32 {
+				find = FindPaths32
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				find(m, 128, 0)
+			}
+		})
 	}
 }
 

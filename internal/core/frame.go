@@ -226,7 +226,11 @@ func (d *FlexCore) PrepareAll(hs []*cmatrix.Matrix, sigma2 float64) error {
 		p.hs, p.frame, p.miss = nil, nil, nil
 	} else {
 		for _, k := range d.missIdx {
-			d.findSlotPaths(&frame[k], &d.finder)
+			if d.useSoA() {
+				d.findSlotPaths32(&frame[k], &d.finder32)
+			} else {
+				d.findSlotPaths(&frame[k], &d.finder)
+			}
 		}
 	}
 
@@ -294,5 +298,6 @@ func (d *FlexCore) Select(k int) error {
 	d.model = &s.model
 	d.paths = s.paths
 	d.ppOps.CumulativeProb = s.cum
+	d.soa.dirty = true
 	return nil
 }

@@ -1,0 +1,104 @@
+package core
+
+import "math"
+
+// The float32 candidate heap of the SoA backend's pre-processing
+// search. Profiling the complex128 search shows the heap dominates: the
+// 24-byte candNode's float64-compare-then-seq-tie-break order costs a
+// branchy two-field comparison per sift step, and every swap moves
+// three words. Here the order is a single uint64 compare: the float32
+// log-probability is mapped through the standard order-preserving bits
+// transform into the high word and the negated insertion sequence into
+// the low word, so "higher logP, FIFO among ties" is exactly "bigger
+// key" — and a node is 16 bytes.
+
+// candNode32 is one packed candidate of the lazy-expansion search
+// (pathFinder32): the increment of level ord[t] applied to emitted path
+// parent. key carries the full extraction order.
+type candNode32 struct {
+	key    uint64
+	parent int32
+	t      int32 // position of the incremented level in the finder's logPe ordering
+}
+
+// packKey builds the order key: ord32(logP) in the high word (the sign-
+// aware bits transform makes uint32 order match float32 order), ^seq in
+// the low word (earlier insertions win ties).
+//
+//flexcore:noalloc
+func packKey(logP float32, seq uint32) uint64 {
+	bits := math.Float32bits(logP)
+	if bits&0x8000_0000 != 0 {
+		bits = ^bits
+	} else {
+		bits |= 0x8000_0000
+	}
+	return uint64(bits)<<32 | uint64(^seq)
+}
+
+// keyLogP recovers the float32 log-probability from a packed key.
+//
+//flexcore:noalloc
+func keyLogP(key uint64) float32 {
+	bits := uint32(key >> 32)
+	if bits&0x8000_0000 != 0 {
+		bits &^= 0x8000_0000
+	} else {
+		bits = ^bits
+	}
+	return math.Float32frombits(bits)
+}
+
+// candHeap32 is a binary max-heap on the packed key.
+type candHeap32 []candNode32
+
+// push inserts a candidate.
+//
+//flexcore:noalloc
+func (h *candHeap32) push(n candNode32) {
+	a := append(*h, n) //lint:ignore noalloc amortised: capacity is reserved by the finder and retained across frames
+	*h = a
+	j := len(a) - 1
+	for j > 0 {
+		p := (j - 1) / 2
+		if a[p].key >= a[j].key {
+			break
+		}
+		a[p], a[j] = a[j], a[p]
+		j = p
+	}
+}
+
+// popMax removes and returns the best candidate.
+//
+//flexcore:noalloc
+func (h *candHeap32) popMax() candNode32 {
+	a := *h
+	top := a[0]
+	last := len(a) - 1
+	a[0] = a[last]
+	a = a[:last]
+	*h = a
+	a.siftDown(0)
+	return top
+}
+
+// siftDown restores the heap property below i.
+//
+//flexcore:noalloc
+func (h candHeap32) siftDown(i int) {
+	for {
+		c := 2*i + 1
+		if c >= len(h) {
+			return
+		}
+		if c+1 < len(h) && h[c].key < h[c+1].key {
+			c++
+		}
+		if h[i].key >= h[c].key {
+			return
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"flexcore/internal/cmatrix"
+	"flexcore/internal/kernel32"
 )
 
 // jobKind selects what the persistent workers execute for one dispatch.
@@ -62,11 +63,15 @@ type poolWorker struct {
 	best []int        // local best path (jobPaths) / per-vector best (jobBatch)
 	ybar []complex128 // jobBatch: per-worker rotated vector
 
-	qrws   cmatrix.QRWorkspace // jobPrepModel: per-worker QR scratch
-	finder pathFinder          // jobPrepPaths: per-worker search pool
+	qrws     cmatrix.QRWorkspace // jobPrepModel: per-worker QR scratch
+	finder   pathFinder          // jobPrepPaths: per-worker search pool
+	finder32 pathFinder32        // jobPrepPaths: per-worker search pool (SoA backend)
+	ks       kernel32.Scratch    // jobBatch: per-worker lane scratch (SoA backend)
 
 	ped    float64 // jobPaths: local minimum PED
 	ok     bool    // jobPaths: local minimum exists
+	lane   int     // jobPaths (SoA): block-best lane, -1 when none survives
+	ped32  float32 // jobPaths (SoA): block-best distance
 	fallbk int64   // jobBatch: fallback detections in the last job
 }
 
@@ -142,6 +147,18 @@ func (w *poolWorker) ensure(d *FlexCore) {
 //flexcore:noalloc
 func (p *pool) runPaths(w *poolWorker) {
 	d := p.d
+	if d.useSoA() {
+		// SoA route: a contiguous lane block of the shared scratch (all
+		// per-lane state is disjoint, so blocks never interfere and the
+		// partition cannot change the result).
+		lo, hi := laneBlock(w.id, len(p.workers), d.soa.prep.P)
+		if lo >= hi {
+			w.lane = -1
+			return
+		}
+		w.lane, w.ped32 = kernel32.Descend(&d.soa.prep, d.soa.slicer, &d.soa.scratch, lo, hi, d.opts.StrictDeactivation)
+		return
+	}
 	w.ped = math.Inf(1)
 	w.ok = false
 	stride := len(p.workers)
@@ -162,8 +179,15 @@ func (p *pool) runBatch(w *poolWorker) {
 	d := p.d
 	w.fallbk = 0
 	stride := len(p.workers)
+	soa := d.useSoA()
 	for i := w.id; i < len(p.ys); i += stride {
-		if d.detectOne(p.ys[i], w.ybar, w.idx, w.sym, w.best, p.out[i]) {
+		var fb bool
+		if soa {
+			fb = d.soaDetectOne(p.ys[i], &w.ks, w.ybar, w.idx, w.sym, w.best, p.out[i])
+		} else {
+			fb = d.detectOne(p.ys[i], w.ybar, w.idx, w.sym, w.best, p.out[i])
+		}
+		if fb {
 			w.fallbk++
 		}
 	}
@@ -190,7 +214,12 @@ func (p *pool) runPrepModel(w *poolWorker) {
 func (p *pool) runPrepPaths(w *poolWorker) {
 	d := p.d
 	stride := len(p.workers)
+	soa := d.useSoA()
 	for i := w.id; i < len(p.miss); i += stride {
-		d.findSlotPaths(&p.frame[p.miss[i]], &w.finder)
+		if soa {
+			d.findSlotPaths32(&p.frame[p.miss[i]], &w.finder32)
+		} else {
+			d.findSlotPaths(&p.frame[p.miss[i]], &w.finder)
+		}
 	}
 }

@@ -1,0 +1,33 @@
+// Package kernel32 holds the float32 structure-of-arrays (SoA) kernels
+// of the reduced-precision detection backend (DESIGN.md §11).
+//
+// The complex128 hot path processes one sphere-decoder path at a time
+// over array-of-structs complex values — a layout whose interleaved
+// re/im words and per-level complex divisions the compiler cannot turn
+// into tight register loops. This package stores everything as separate
+// re/im float32 planes, batched across the N_PE paths ("lanes"):
+//
+//	R planes   Rre/Rim[i*n+j]      one scalar pair per level pair,
+//	                               broadcast over the lane loop
+//	sym planes SymRe/SymIm[j*P+p]  level-major: the lane loop of a
+//	                               level reads/writes contiguous runs
+//	rank plane Ranks[i*P+p]        the per-level slicer ranks of every
+//	                               selected path, transposed once at
+//	                               conversion time
+//
+// One Descend call advances every lane of a block through the whole
+// tree: the inner loops are contiguous float32 slices with hoisted
+// bounds (`x = x[:len(b)]` re-slicing), so the compiler keeps the lane
+// state in registers and eliminates the per-element bounds checks — and
+// the per-level work replaces the complex128 division and the float64
+// LUT lookup of the scalar path with one reciprocal multiply and an
+// inlined integer slicer.
+//
+// Numerics: float32 arithmetic makes distances (not decisions) the
+// approximate quantity. The conformance contract (internal/conformance)
+// therefore gates decisions exactly — the golden corpus and the seeded
+// backend-equivalence corpus must produce identical symbol vectors —
+// while distances carry a documented ULP-scaled tolerance. Fused
+// multiply-add contraction means float32 results may differ across
+// architectures at ulp level; decisions, not bits, are the contract.
+package kernel32

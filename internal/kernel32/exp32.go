@@ -1,0 +1,35 @@
+package kernel32
+
+import "math"
+
+// Exp32 returns e^x rounded to float32, computed with a degree-6
+// Taylor kernel on the reduced range |r| ≤ ln2/2 and an exponent-bits
+// scale — a fraction of math.Exp's cost at ~1e-7 relative error, well
+// inside the float32 backend's documented tolerance. The pre-processing
+// search uses it to accumulate the cumulative path probability (the
+// a-FlexCore stopping rule), where only ~single-float32-ulp accuracy is
+// meaningful to begin with.
+//
+//flexcore:noalloc
+func Exp32(x float32) float32 {
+	const (
+		log2e = 1.44269504088896338700e+00
+		ln2   = 6.93147180559945286227e-01
+	)
+	xf := float64(x)
+	// Out-of-range guards: beyond these every float32 rounds to 0/+Inf.
+	if xf < -88 {
+		return 0
+	}
+	if xf > 89 {
+		return inf32
+	}
+	k := math.Floor(xf*log2e + 0.5)
+	r := xf - k*ln2
+	// e^r by Horner; |r| ≤ 0.3466 keeps the truncation under 1e-7·e^r.
+	p := 1 + r*(1+r*(1.0/2+r*(1.0/6+r*(1.0/24+r*(1.0/120+r*(1.0/720))))))
+	// Scale by 2^k through the exponent field (k ∈ [-127, 128] here, so
+	// the double-precision exponent never saturates).
+	scale := math.Float64frombits(uint64(1023+int64(k)) << 52)
+	return float32(p * scale)
+}

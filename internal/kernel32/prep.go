@@ -1,0 +1,154 @@
+package kernel32
+
+import (
+	"math"
+
+	"flexcore/internal/cmatrix"
+)
+
+// Prep is the per-channel state of the SoA backend, built once per
+// Prepare/Select and read-only during detection: the upper-triangular R
+// factor as float32 planes, the per-level reciprocals that replace the
+// complex128 division of the scalar path, and the selected paths' rank
+// vectors transposed into a level-major plane so the detect kernel
+// reads one contiguous run per level.
+type Prep struct {
+	N int // tree levels (streams)
+	P int // lanes (selected paths)
+
+	Rre, Rim []float32 // N×N row-major; entries below the diagonal unused
+	Rii      []float32 // real diagonal of R, value units
+	W        []float32 // per-level (1/Rii)·(1/scale): b·W is z in half-distance units
+
+	Ranks []int16 // level-major N×P rank plane: Ranks[i*P+p] = path p's rank at level i
+
+	// Degenerate is set when some diagonal entry is ≤ 0: every path
+	// deactivates at that level (exactly as in the scalar backend), so
+	// detection goes straight to the clamped-SIC fallback.
+	Degenerate bool
+}
+
+// SetChannel converts the upper triangle of r into the float32 planes,
+// growing the arenas only when the level count grows. invScale is the
+// constellation's 1/scale factor folded into W.
+//
+//flexcore:noalloc
+func (pr *Prep) SetChannel(r *cmatrix.Matrix, invScale float64) {
+	n := r.Cols
+	if cap(pr.Rre) < n*n {
+		pr.Rre = make([]float32, n*n) //lint:ignore noalloc amortised: channel planes regrow only when the stream count grows
+		pr.Rim = make([]float32, n*n) //lint:ignore noalloc amortised: see above
+		pr.Rii = make([]float32, n)   //lint:ignore noalloc amortised: see above
+		pr.W = make([]float32, n)     //lint:ignore noalloc amortised: see above
+	}
+	pr.N = n
+	pr.Rre = pr.Rre[:n*n]
+	pr.Rim = pr.Rim[:n*n]
+	pr.Rii = pr.Rii[:n]
+	pr.W = pr.W[:n]
+	pr.Degenerate = false
+	for i := 0; i < n; i++ {
+		row := r.Data[i*r.Cols : i*r.Cols+n]
+		for j := i; j < n; j++ {
+			pr.Rre[i*n+j] = float32(real(row[j]))
+			pr.Rim[i*n+j] = float32(imag(row[j]))
+		}
+		rii := real(row[i])
+		pr.Rii[i] = float32(rii)
+		if rii <= 0 {
+			pr.Degenerate = true
+			pr.W[i] = 0
+			continue
+		}
+		pr.W[i] = float32(invScale / rii)
+	}
+}
+
+// EnsureRanks sizes the rank plane for p lanes of the current level
+// count and returns it for the caller (internal/core owns the Path
+// structs) to fill level-major. It only allocates when n×p grows.
+//
+//flexcore:noalloc
+func (pr *Prep) EnsureRanks(p int) []int16 {
+	n := pr.N
+	if cap(pr.Ranks) < n*p {
+		pr.Ranks = make([]int16, n*p) //lint:ignore noalloc amortised: the rank plane regrows only when paths×levels grows
+	}
+	pr.Ranks = pr.Ranks[:n*p]
+	pr.P = p
+	return pr.Ranks
+}
+
+// Scratch is the per-worker mutable lane state of one batched descent:
+// the interference-cancelled observation, accumulated distances, and
+// the level-major symbol/index planes the descent writes as it decides
+// each level. One Scratch serves any number of sequential detections;
+// concurrent workers each own one (lanes of a single shared Scratch may
+// also be split across workers — all per-lane state is disjoint).
+type Scratch struct {
+	N, P int
+
+	Bre, Bim []float32 // P: per-lane cancelled observation at the current level
+	Ped      []float32 // P: accumulated partial Euclidean distance
+
+	SymRe, SymIm []float32 // N×P level-major decided symbol planes
+	Idx          []int32   // N×P level-major decided symbol indices
+
+	Ybre, Ybim []float32 // N: rotated received vector ȳ
+}
+
+// Ensure grows the scratch planes to n levels × p lanes; it only
+// allocates when the shape grows.
+//
+//flexcore:noalloc
+func (s *Scratch) Ensure(n, p int) {
+	if cap(s.Bre) < p {
+		s.Bre = make([]float32, p) //lint:ignore noalloc amortised: lane planes regrow only when the path count grows
+		s.Bim = make([]float32, p) //lint:ignore noalloc amortised: see above
+		s.Ped = make([]float32, p) //lint:ignore noalloc amortised: see above
+	}
+	if cap(s.SymRe) < n*p {
+		s.SymRe = make([]float32, n*p) //lint:ignore noalloc amortised: symbol planes regrow only when paths×levels grows
+		s.SymIm = make([]float32, n*p) //lint:ignore noalloc amortised: see above
+		s.Idx = make([]int32, n*p)     //lint:ignore noalloc amortised: see above
+	}
+	if cap(s.Ybre) < n {
+		s.Ybre = make([]float32, n) //lint:ignore noalloc amortised: ȳ planes regrow only when the stream count grows
+		s.Ybim = make([]float32, n) //lint:ignore noalloc amortised: see above
+	}
+	s.N, s.P = n, p
+	s.Bre = s.Bre[:p]
+	s.Bim = s.Bim[:p]
+	s.Ped = s.Ped[:p]
+	s.SymRe = s.SymRe[:n*p]
+	s.SymIm = s.SymIm[:n*p]
+	s.Idx = s.Idx[:n*p]
+	s.Ybre = s.Ybre[:n]
+	s.Ybim = s.Ybim[:n]
+}
+
+// SetYbar converts the rotated received vector into the ȳ planes. The
+// scratch must already be Ensured for len(yb) levels.
+//
+//flexcore:noalloc
+func (s *Scratch) SetYbar(yb []complex128) {
+	ybre := s.Ybre[:len(yb)]
+	ybim := s.Ybim[:len(yb)]
+	for i, v := range yb {
+		ybre[i] = float32(real(v))
+		ybim[i] = float32(imag(v))
+	}
+}
+
+// GatherIdx copies lane p's decided symbol indices (factored stream
+// order) into dst, one per level.
+//
+//flexcore:noalloc
+func (s *Scratch) GatherIdx(p int, dst []int) {
+	P := s.P
+	for i := range dst {
+		dst[i] = int(s.Idx[i*P+p])
+	}
+}
+
+var inf32 = float32(math.Inf(1))
