@@ -1,0 +1,123 @@
+// Command flexserve is the long-running FlexCore detection service
+// (DESIGN.md §12): it accepts concurrent uplink detection frames from
+// many users over a length-prefixed binary TCP protocol, shards them
+// across per-shard FlexCore detector pools with consistent user→shard
+// routing, applies bounded admission queues with explicit overload
+// rejection, and exposes a JSON metrics endpoint (latency histogram,
+// throughput, queue depths, rejection counts, aggregated
+// OpCount/PreprocessStats). On SIGINT/SIGTERM it drains gracefully:
+// admitted frames detect and respond, new work is rejected with
+// StatusDraining.
+//
+// Example:
+//
+//	flexserve -listen :7600 -metrics :7601 -shards 4 -qam 16 -npe 64
+//	flexserve -listen :7600 -shards 8 -qam 64 -npe 128 -backend soa32 -threshold 0.95
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"flexcore/internal/constellation"
+	"flexcore/internal/core"
+	"flexcore/internal/detector"
+	"flexcore/internal/serve"
+)
+
+func main() {
+	listen := flag.String("listen", ":7600", "TCP address for the frame-ingest protocol")
+	metricsAddr := flag.String("metrics", ":7601", "HTTP address for /metrics and /healthz (empty disables)")
+	shards := flag.Int("shards", 4, "detection shards (one detector pool + admission queue each)")
+	queue := flag.Int("queue", 256, "per-shard admission queue depth (full queue ⇒ StatusOverloaded)")
+	qam := flag.Int("qam", 16, "QAM order served (4, 16, 64, 256, 1024)")
+	npe := flag.Int("npe", 64, "FlexCore processing elements per detector")
+	threshold := flag.Float64("threshold", 0, "a-FlexCore stopping threshold (0 = fixed NPE; paper uses 0.95)")
+	workers := flag.Int("workers", 0, "per-detector worker pool (0/1 = sequential; decisions are identical for any value)")
+	reuse := flag.Float64("reuse", -1, "coherence threshold for position-vector reuse across subcarriers (<0 = off)")
+	backendName := flag.String("backend", "", "kernel backend: complex128 (default) or soa32")
+	drainTimeout := flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGINT/SIGTERM")
+	flag.Parse()
+
+	cons, err := constellation.New(*qam)
+	if err != nil {
+		fatal(err)
+	}
+	backend, ok := core.ParseBackend(*backendName)
+	if !ok {
+		fatal(fmt.Errorf("unknown backend %q", *backendName))
+	}
+	opts := core.Options{
+		NPE:       *npe,
+		Threshold: *threshold,
+		Workers:   *workers,
+		Backend:   backend,
+	}
+	if *reuse >= 0 {
+		opts.PathReuse = true
+		opts.ReuseThreshold = *reuse
+	}
+
+	srv, err := serve.NewServer(serve.Config{
+		Shards:     *shards,
+		QueueDepth: *queue,
+		DetectorFactory: func() detector.Detector {
+			return core.New(cons, opts)
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", srv.MetricsHandler())
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			if srv.Draining() {
+				http.Error(w, "draining", http.StatusServiceUnavailable)
+				return
+			}
+			fmt.Fprintln(w, "ok")
+		})
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "flexserve: metrics endpoint: %v\n", err)
+			}
+		}()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		fmt.Fprintln(os.Stderr, "flexserve: draining…")
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(drainCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "flexserve: drain incomplete: %v\n", err)
+			os.Exit(1)
+		}
+	}()
+
+	fmt.Printf("flexserve: %d-QAM, %d shards × (NPE=%d, workers=%d, backend=%s), queue depth %d\n",
+		*qam, *shards, *npe, *workers, backend, *queue)
+	fmt.Printf("flexserve: listening on %s (metrics on %s)\n", *listen, *metricsAddr)
+	if err := srv.ListenAndServe(*listen); err != nil {
+		fatal(err)
+	}
+	snap := srv.Metrics()
+	fmt.Printf("flexserve: drained — %d completed, %d rejected (%d overload, %d draining, %d invalid)\n",
+		snap.Completed, snap.RejectedOverload+snap.RejectedDraining+snap.RejectedInvalid,
+		snap.RejectedOverload, snap.RejectedDraining, snap.RejectedInvalid)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flexserve:", err)
+	os.Exit(1)
+}

@@ -37,6 +37,17 @@ type PreprocessStats struct {
 	CacheMisses int64
 }
 
+// Add accumulates the counter fields of other into s — the
+// aggregation the serving layer uses to merge per-shard detector
+// stats into one metrics snapshot. CumulativeProb is a per-Prepare
+// instantaneous value, not a counter, so Add keeps s's value.
+func (s *PreprocessStats) Add(other PreprocessStats) {
+	s.RealMuls += other.RealMuls
+	s.Expanded += other.Expanded
+	s.CacheHits += other.CacheHits
+	s.CacheMisses += other.CacheMisses
+}
+
 // preNode is a pre-processing tree node (used by the batched-expansion
 // model FindPathsParallel; the production search uses candNode and the
 // pooled arena of pathFinder).

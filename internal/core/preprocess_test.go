@@ -173,3 +173,12 @@ func TestFindPathsNPEOne(t *testing.T) {
 		}
 	}
 }
+
+func TestPreprocessStatsAdd(t *testing.T) {
+	s := PreprocessStats{RealMuls: 10, Expanded: 3, CumulativeProb: 0.5, CacheHits: 2, CacheMisses: 1}
+	s.Add(PreprocessStats{RealMuls: 5, Expanded: 4, CumulativeProb: 0.9, CacheHits: 1, CacheMisses: 7})
+	want := PreprocessStats{RealMuls: 15, Expanded: 7, CumulativeProb: 0.5, CacheHits: 3, CacheMisses: 8}
+	if s != want {
+		t.Fatalf("Add produced %+v, want %+v (counters summed, CumulativeProb kept)", s, want)
+	}
+}

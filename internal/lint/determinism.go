@@ -18,7 +18,7 @@ import (
 var Determinism = &Analyzer{
 	Name:     "determinism",
 	Doc:      "forbid wall-clock, global rand, order-dependent map iteration and shared-slice appends in goroutines",
-	Packages: []string{"internal/core", "internal/detector", "internal/phy", "internal/conformance"},
+	Packages: []string{"internal/core", "internal/detector", "internal/phy", "internal/conformance", "internal/serve"},
 	Run:      runDeterminism,
 }
 

@@ -1,0 +1,79 @@
+package phy
+
+import (
+	"flexcore/internal/cmatrix"
+	"flexcore/internal/detector"
+)
+
+// FrameDetector runs any detector over whole uplink frames — one
+// channel matrix per subcarrier, a burst of OFDM symbols per
+// subcarrier — through the channel-rate fast path when the detector
+// implements FramePreparer (FlexCore's PrepareAll/Select, DESIGN.md
+// §9) and through the scalar Prepare loop otherwise. It is the
+// frame-detection loop shared by the link simulator's genie-CSI path
+// and the serving layer (internal/serve): both must produce decisions
+// bit-identical to looping Prepare+Detect per subcarrier, which the
+// underlying detectors guarantee for any worker count.
+//
+// A FrameDetector is not safe for concurrent use (detectors are
+// stateful across Prepare/Detect); run one per goroutine or shard.
+type FrameDetector struct {
+	det   detector.Detector
+	batch detector.BatchDetector
+	frame FramePreparer
+	rep   ActivePathReporter
+
+	activeSum float64
+	activeN   int64
+}
+
+// NewFrameDetector wraps d for frame-at-a-time detection.
+func NewFrameDetector(d detector.Detector) *FrameDetector {
+	f := &FrameDetector{det: d, batch: detector.Batch(d)}
+	f.frame, _ = d.(FramePreparer)
+	f.rep, _ = d.(ActivePathReporter)
+	return f
+}
+
+// Detector returns the wrapped detector.
+func (f *FrameDetector) Detector() detector.Detector { return f.det }
+
+// DetectFrame detects one frame: it prepares every subcarrier channel
+// (in one PrepareAll when the detector supports it), then for each
+// subcarrier k detects the burst returned by burst(k) — one received
+// vector per OFDM symbol — and hands the decisions to emit(k, got).
+// The decisions slice is detector-owned and valid only until the next
+// detection call: emit must consume (copy or encode) it before
+// returning. The burst and emit callbacks let callers stream results
+// without any intermediate per-frame decision buffer, keeping the
+// steady-state loop allocation-free.
+//
+//flexcore:noalloc
+func (f *FrameDetector) DetectFrame(hs []*cmatrix.Matrix, sigma2 float64, burst func(k int) [][]complex128, emit func(k int, decisions [][]int)) error {
+	if f.frame != nil {
+		if err := f.frame.PrepareAll(hs, sigma2); err != nil {
+			return err
+		}
+	}
+	for k := range hs {
+		if f.frame != nil {
+			if err := f.frame.Select(k); err != nil {
+				return err
+			}
+		} else if err := f.det.Prepare(hs[k], sigma2); err != nil {
+			return err
+		}
+		if f.rep != nil {
+			f.activeSum += float64(f.rep.ActivePaths())
+			f.activeN++
+		}
+		emit(k, f.batch.DetectBatch(burst(k)))
+	}
+	return nil
+}
+
+// ActivePEs returns the cumulative active processing-element count and
+// the number of prepared subcarriers it was sampled over (nonzero only
+// for detectors reporting ActivePaths, i.e. FlexCore/a-FlexCore) — the
+// serving layer's AvgActivePEs metric.
+func (f *FrameDetector) ActivePEs() (sum float64, n int64) { return f.activeSum, f.activeN }

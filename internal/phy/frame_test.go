@@ -1,0 +1,145 @@
+package phy
+
+import (
+	"errors"
+	"testing"
+
+	"flexcore/internal/channel"
+	"flexcore/internal/cmatrix"
+	"flexcore/internal/constellation"
+	"flexcore/internal/core"
+	"flexcore/internal/detector"
+)
+
+// frameCase builds a deterministic frame: K Rayleigh channels and a
+// burst of S received vectors per subcarrier.
+func frameCase(t *testing.T, seed uint64, nr, nt, k, s int) ([]*cmatrix.Matrix, [][][]complex128) {
+	t.Helper()
+	rng := channel.NewStreamRNG(seed, 0)
+	hs := make([]*cmatrix.Matrix, k)
+	ys := make([][][]complex128, k)
+	x := make([]complex128, nt)
+	for i := range hs {
+		hs[i] = channel.Rayleigh(rng, nr, nt)
+		ys[i] = make([][]complex128, s)
+		for j := range ys[i] {
+			for l := range x {
+				x[l] = channel.CN(rng, 1)
+			}
+			ys[i][j] = channel.AddAWGN(rng, hs[i].MulVec(x), 0.1)
+		}
+	}
+	return hs, ys
+}
+
+// runFrame collects DetectFrame's streamed decisions into a copy the
+// caller owns.
+func runFrame(t *testing.T, fd *FrameDetector, hs []*cmatrix.Matrix, ys [][][]complex128, sigma2 float64) [][][]int {
+	t.Helper()
+	out := make([][][]int, len(hs))
+	err := fd.DetectFrame(hs, sigma2, func(k int) [][]complex128 { return ys[k] }, func(k int, decisions [][]int) {
+		out[k] = make([][]int, len(decisions))
+		for s, d := range decisions {
+			out[k][s] = append([]int(nil), d...)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// checkAgainstScalarLoop compares a FrameDetector run against the
+// reference loop — a fresh detector, scalar Prepare+Detect per
+// subcarrier — which must be bit-identical (DESIGN.md §9).
+func checkAgainstScalarLoop(t *testing.T, fd *FrameDetector, ref detector.Detector, seed uint64) {
+	t.Helper()
+	const nr, nt, k, s, sigma2 = 4, 3, 5, 2, 0.1
+	hs, ys := frameCase(t, seed, nr, nt, k, s)
+	got := runFrame(t, fd, hs, ys, sigma2)
+	for ki := range hs {
+		if err := ref.Prepare(hs[ki], sigma2); err != nil {
+			t.Fatal(err)
+		}
+		for si := range ys[ki] {
+			want := ref.Detect(ys[ki][si])
+			for i, w := range want {
+				if got[ki][si][i] != w {
+					t.Fatalf("subcarrier %d symbol %d stream %d: frame path %d, scalar loop %d",
+						ki, si, i, got[ki][si][i], w)
+				}
+			}
+		}
+	}
+}
+
+// TestFrameDetectorMatchesScalarLoopFlexCore covers the channel-rate
+// fast path: FlexCore implements FramePreparer, so DetectFrame goes
+// through PrepareAll/Select.
+func TestFrameDetectorMatchesScalarLoopFlexCore(t *testing.T) {
+	cons, err := constellation.New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := core.New(cons, core.Options{NPE: 16})
+	defer det.Close()
+	ref := core.New(cons, core.Options{NPE: 16})
+	defer ref.Close()
+	fd := NewFrameDetector(det)
+	checkAgainstScalarLoop(t, fd, ref, 0xabc1)
+	// FlexCore reports active PEs: the frame loop must have sampled one
+	// count per prepared subcarrier across the run.
+	if sum, n := fd.ActivePEs(); n != 5 || sum != float64(16*5) {
+		t.Fatalf("ActivePEs = (%g, %d), want (80, 5)", sum, n)
+	}
+}
+
+// TestFrameDetectorMatchesScalarLoopMMSE covers the scalar fallback:
+// a linear detector has no FramePreparer, so DetectFrame loops Prepare.
+func TestFrameDetectorMatchesScalarLoopMMSE(t *testing.T) {
+	cons, err := constellation.New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := detector.NewMMSE(cons)
+	ref := detector.NewMMSE(cons)
+	fd := NewFrameDetector(det)
+	checkAgainstScalarLoop(t, fd, ref, 0xabc2)
+	if sum, n := fd.ActivePEs(); sum != 0 || n != 0 {
+		t.Fatalf("ActivePEs = (%g, %d) for a detector without ActivePaths, want (0, 0)", sum, n)
+	}
+}
+
+// errDetector fails Prepare after a set number of successes.
+type errDetector struct {
+	okLeft int
+	err    error
+}
+
+func (d *errDetector) Name() string { return "err-stub" }
+func (d *errDetector) Prepare(h *cmatrix.Matrix, sigma2 float64) error {
+	if d.okLeft == 0 {
+		return d.err
+	}
+	d.okLeft--
+	return nil
+}
+func (d *errDetector) Detect(y []complex128) []int { return []int{0} }
+func (d *errDetector) OpCount() detector.OpCount   { return detector.OpCount{} }
+
+// TestFrameDetectorPropagatesPrepareError: a mid-frame Prepare failure
+// surfaces as DetectFrame's error; emit is not called for the failed
+// subcarrier.
+func TestFrameDetectorPropagatesPrepareError(t *testing.T) {
+	want := errors.New("prepare failed")
+	fd := NewFrameDetector(&errDetector{okLeft: 2, err: want})
+	hs, ys := frameCase(t, 0xabc3, 2, 1, 4, 1)
+	emitted := 0
+	err := fd.DetectFrame(hs, 0.1, func(k int) [][]complex128 { return ys[k] }, func(k int, decisions [][]int) { emitted++ })
+	if !errors.Is(err, want) {
+		t.Fatalf("got %v, want the detector's error", err)
+	}
+	if emitted != 2 {
+		t.Fatalf("emit called %d times before the failure, want 2", emitted)
+	}
+}

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"sync"
+)
+
+// Client speaks the serve wire protocol over any stream connection —
+// a TCP socket (Dial) or the in-memory pipe of Server.InProcess. All
+// of its buffers are reused, so a steady-state request/response loop
+// allocates only in the caller's hands.
+//
+// Send and Recv are individually thread-safe (a reader goroutine can
+// drain responses while another pipelines requests — the overload
+// tests do exactly that), but responses arrive in per-shard completion
+// order, not send order: a pipelining caller must match them to
+// requests by FrameID. Do (one request, one response) assumes it is
+// the only outstanding exchange on the connection.
+type Client struct {
+	rwc io.ReadWriteCloser
+
+	wmu     sync.Mutex
+	bw      *bufio.Writer
+	payload []byte
+	wire    []byte
+
+	rmu  sync.Mutex
+	br   *bufio.Reader
+	rbuf []byte
+}
+
+// NewClient wraps an established connection.
+func NewClient(rwc io.ReadWriteCloser) *Client {
+	return &Client{rwc: rwc, bw: bufio.NewWriter(rwc), br: bufio.NewReader(rwc)}
+}
+
+// Dial connects to a flexserve TCP address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// Send encodes and writes one detection request.
+func (c *Client) Send(req *DetectRequest) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.payload = req.AppendPayload(c.payload[:0])
+	c.wire = AppendFrame(c.wire[:0], MsgDetect, c.payload)
+	if _, err := c.bw.Write(c.wire); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// Recv reads the next response into resp (reusing its storage).
+func (c *Client) Recv(resp *DetectResponse) error {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	typ, payload, buf, err := ReadFrame(c.br, c.rbuf)
+	c.rbuf = buf
+	if err != nil {
+		return err
+	}
+	if typ != MsgResult {
+		return ErrType
+	}
+	return resp.Decode(payload)
+}
+
+// Do performs one request/response exchange. The caller must not have
+// other requests outstanding on this client (pipeline with Send/Recv
+// and FrameID matching instead).
+func (c *Client) Do(req *DetectRequest, resp *DetectResponse) error {
+	if err := c.Send(req); err != nil {
+		return err
+	}
+	return c.Recv(resp)
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error { return c.rwc.Close() }

@@ -1,0 +1,462 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flexcore/internal/core"
+	"flexcore/internal/detector"
+	"flexcore/internal/phy"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Shards is the number of independent detection shards; each shard
+	// owns one detector (its FramePreparer + FlexCore set), one bounded
+	// admission queue and one worker goroutine, so frames of one user
+	// are served in arrival order. Default 1.
+	Shards int
+	// QueueDepth bounds each shard's admission queue. A frame arriving
+	// at a full queue is rejected immediately with StatusOverloaded —
+	// explicit backpressure, bounded memory. Default 64.
+	QueueDepth int
+	// DetectorFactory builds one detector per shard (detectors are
+	// stateful across Prepare/Detect, so shards cannot share one).
+	// Required. Factory-created detectors are closed on Shutdown when
+	// they expose a Close method.
+	DetectorFactory func() detector.Detector
+}
+
+// withDefaults resolves the zero-value knobs.
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	return c
+}
+
+// task is one admitted detection request in flight: the decoded
+// request, the connection to answer on, and every buffer the
+// ingest→detect→respond path needs. Tasks are pooled and fully
+// reused, so the steady-state serve loop allocates nothing.
+type task struct {
+	req     DetectRequest
+	c       *serverConn
+	enq     time.Time // admit timestamp (latency metric only)
+	payload []byte    // response payload scratch
+	wire    []byte    // framed response scratch
+
+	// burst/emit are the frame-detection callbacks, bound once at task
+	// construction so the hot loop passes pre-built funcs (no per-frame
+	// closure allocation).
+	burst func(k int) [][]complex128
+	emit  func(k int, decisions [][]int)
+}
+
+// shard is one detection lane: a bounded admission queue drained by a
+// single worker goroutine owning one detector.
+type shard struct {
+	queue chan *task
+	det   detector.Detector
+	fd    *phy.FrameDetector
+
+	// mu publishes the detector's op counters to Metrics (the worker
+	// writes them after every frame; Snapshot reads them).
+	mu        sync.Mutex
+	ops       detector.OpCount
+	pre       core.PreprocessStats
+	activeSum float64
+	activeN   int64
+}
+
+// preprocessReporter is implemented by detectors exposing
+// pre-processing counters (FlexCore).
+type preprocessReporter interface {
+	PreprocessStats() core.PreprocessStats
+}
+
+// Server is the sharded, backpressured detection service. Build one
+// with NewServer, feed it connections via Serve/ListenAndServe (TCP)
+// or InProcess (tests), and stop it with Shutdown.
+type Server struct {
+	cfg    Config
+	shards []*shard
+	met    metrics
+
+	taskPool sync.Pool
+
+	// drainMu orders admission against shutdown: admitters hold the
+	// read side while checking draining and enqueueing; Shutdown flips
+	// draining under the write side, after which no admitter can be
+	// mid-enqueue — closing the shard queues is then race-free.
+	drainMu  sync.RWMutex
+	draining bool
+
+	workerWG sync.WaitGroup
+	connWG   sync.WaitGroup
+
+	connMu sync.Mutex
+	conns  map[io.Closer]struct{}
+	lis    net.Listener
+
+	closed atomic.Bool
+}
+
+// NewServer builds the shards, starts their workers and returns a
+// server ready to accept connections.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.DetectorFactory == nil {
+		return nil, fmt.Errorf("serve: Config.DetectorFactory is required")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		met:   metrics{start: time.Now()}, //lint:ignore determinism wall-clock observability only — detection results never depend on it
+		conns: make(map[io.Closer]struct{}),
+	}
+	s.taskPool.New = func() any {
+		t := &task{}
+		t.burst = t.req.Burst
+		t.emit = func(k int, decisions [][]int) {
+			t.payload = appendDecisions(t.payload, decisions)
+		}
+		return t
+	}
+	s.shards = make([]*shard, cfg.Shards)
+	for i := range s.shards {
+		det := cfg.DetectorFactory()
+		sh := &shard{
+			queue: make(chan *task, cfg.QueueDepth),
+			det:   det,
+			fd:    phy.NewFrameDetector(det),
+		}
+		s.shards[i] = sh
+		s.workerWG.Add(1)
+		go s.runShard(sh)
+	}
+	return s, nil
+}
+
+// shardIndex maps a user ID to its shard: a SplitMix64 finalizer
+// reduced modulo the shard count — uniform, stable across restarts
+// and independent of Go's per-process map hashing, so routing is
+// consistent for every server instance.
+//
+//flexcore:noalloc
+func shardIndex(userID uint64, shards int) int {
+	z := userID + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int(z % uint64(shards))
+}
+
+// runShard drains one shard's admission queue until it is closed by
+// Shutdown, then releases the detector.
+func (s *Server) runShard(sh *shard) {
+	defer s.workerWG.Done()
+	for t := range sh.queue {
+		s.process(sh, t)
+		if err := t.c.write(t.wire); err != nil {
+			s.met.writeErrors.Add(1)
+		}
+		s.release(t)
+	}
+	if c, ok := sh.det.(interface{ Close() }); ok {
+		c.Close()
+	}
+}
+
+// process runs the ingest→detect→respond hot path for one admitted
+// task: detect every subcarrier burst through the shard's
+// FrameDetector, streaming the decisions straight into the response
+// payload, frame it, publish the shard's op counters and record the
+// latency. Everything it touches is task- or shard-owned and reused —
+// the AllocsPerRun gate (alloc_test.go) pins this path at 0 allocs/op
+// in steady state.
+//
+//flexcore:noalloc
+func (s *Server) process(sh *shard, t *task) {
+	q := &t.req
+	t.payload = appendRespHeader(t.payload[:0], q.FrameID, StatusOK, q.Nt, q.Subcarriers, q.Symbols)
+	if err := sh.fd.DetectFrame(q.H(), q.Sigma2, t.burst, t.emit); err != nil {
+		// Geometry was validated at decode time, so detector errors are
+		// unexpected — answer them as an explicit rejection, never a
+		// silent drop.
+		t.payload = appendRespHeader(t.payload[:0], q.FrameID, StatusInvalid, 0, 0, 0)
+		s.met.rejectedInvalid.Add(1)
+	}
+	t.wire = AppendFrame(t.wire[:0], MsgResult, t.payload)
+	s.publish(sh)
+	s.met.observe(time.Since(t.enq)) //lint:ignore determinism wall-clock latency metric only — decisions are already encoded at this point
+	s.met.completed.Add(1)
+}
+
+// publish copies the shard detector's cumulative counters under the
+// shard's metrics lock.
+//
+//flexcore:noalloc
+func (s *Server) publish(sh *shard) {
+	ops := sh.det.OpCount()
+	var pre core.PreprocessStats
+	if pr, ok := sh.det.(preprocessReporter); ok {
+		pre = pr.PreprocessStats()
+	}
+	activeSum, activeN := sh.fd.ActivePEs()
+	sh.mu.Lock()
+	sh.ops = ops
+	sh.pre = pre
+	sh.activeSum, sh.activeN = activeSum, activeN
+	sh.mu.Unlock()
+}
+
+// release returns a task to the pool.
+//
+//flexcore:noalloc
+func (s *Server) release(t *task) {
+	t.c = nil
+	s.taskPool.Put(t) //lint:ignore noalloc t is already a pointer — Put's any parameter boxes no value
+}
+
+// admit routes a decoded request to its shard's bounded queue, or
+// rejects it explicitly: StatusDraining once shutdown has begun,
+// StatusOverloaded when the queue is full. Admission never blocks —
+// backpressure is a response code, not a stalled connection.
+//
+//flexcore:noalloc
+func (s *Server) admit(t *task) {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	if s.draining {
+		s.met.rejectedDraining.Add(1)
+		t.c.reject(s, t.req.FrameID, StatusDraining)
+		s.release(t)
+		return
+	}
+	sh := s.shards[shardIndex(t.req.UserID, len(s.shards))]
+	select {
+	case sh.queue <- t:
+		s.met.accepted.Add(1)
+	default:
+		s.met.rejectedOverload.Add(1)
+		t.c.reject(s, t.req.FrameID, StatusOverloaded)
+		s.release(t)
+	}
+}
+
+// serverConn is one client connection: a buffered reader owned by the
+// connection goroutine and a mutex-serialised buffered writer shared
+// by the shard workers responding on it.
+type serverConn struct {
+	rwc io.ReadWriteCloser
+	br  *bufio.Reader
+
+	mu sync.Mutex
+	bw *bufio.Writer
+
+	// rejection scratch, touched only by the connection goroutine.
+	rejPayload []byte
+	rejWire    []byte
+}
+
+// write frames one response onto the connection (serialised: shard
+// workers and the connection goroutine share the writer).
+func (c *serverConn) write(frame []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.bw.Write(frame); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// reject answers a request with a bare status response.
+//
+//flexcore:noalloc
+func (c *serverConn) reject(s *Server, frameID uint64, st Status) {
+	c.rejPayload = appendRespHeader(c.rejPayload[:0], frameID, st, 0, 0, 0)
+	c.rejWire = AppendFrame(c.rejWire[:0], MsgResult, c.rejPayload)
+	if err := c.write(c.rejWire); err != nil {
+		s.met.writeErrors.Add(1)
+	}
+}
+
+// handleConn runs one connection's ingest loop: read a frame, decode
+// it into a pooled task, admit it. Payload-level errors are answered
+// with StatusInvalid and the connection survives; framing errors are
+// unrecoverable and close it.
+func (s *Server) handleConn(rwc io.ReadWriteCloser) {
+	defer s.connWG.Done()
+	defer rwc.Close()
+	defer s.untrackConn(rwc)
+	c := &serverConn{rwc: rwc, br: bufio.NewReader(rwc), bw: bufio.NewWriter(rwc)}
+	var buf []byte
+	for {
+		typ, payload, nbuf, err := ReadFrame(c.br, buf)
+		buf = nbuf
+		if err != nil {
+			if err != io.EOF {
+				s.met.badFrames.Add(1)
+			}
+			return
+		}
+		if typ != MsgDetect {
+			s.met.badFrames.Add(1)
+			return
+		}
+		t := s.taskPool.Get().(*task) //lint:ignore pooldiscipline ownership transfers through the shard queue — the shard worker (or the rejection path in admit) releases the task after responding
+		if err := t.req.Decode(payload); err != nil {
+			s.met.rejectedInvalid.Add(1)
+			c.reject(s, peekFrameID(payload), StatusInvalid)
+			s.release(t)
+			continue
+		}
+		t.c = c
+		t.enq = time.Now() //lint:ignore determinism admit timestamp feeds the latency histogram only — detection results never depend on it
+		s.admit(t)
+	}
+}
+
+// trackConn registers a live connection (for forced close at the end
+// of Shutdown) and reports whether the server still accepts it.
+func (s *Server) trackConn(c io.Closer) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if s.conns == nil {
+		return false
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+// untrackConn removes a closed connection.
+func (s *Server) untrackConn(c io.Closer) {
+	s.connMu.Lock()
+	delete(s.conns, c)
+	s.connMu.Unlock()
+}
+
+// startConn registers rwc and spawns its handler unless shutdown has
+// begun (the drainMu read lock orders the connWG.Add against
+// Shutdown's Wait).
+func (s *Server) startConn(rwc io.ReadWriteCloser) bool {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	if s.draining || !s.trackConn(rwc) {
+		rwc.Close()
+		return false
+	}
+	s.connWG.Add(1)
+	go s.handleConn(rwc)
+	return true
+}
+
+// Serve accepts connections on lis until Shutdown closes it. It
+// returns nil after a graceful shutdown, or the first accept error.
+func (s *Server) Serve(lis net.Listener) error {
+	s.connMu.Lock()
+	s.lis = lis
+	s.connMu.Unlock()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return nil
+			}
+			return err
+		}
+		s.startConn(conn)
+	}
+}
+
+// ListenAndServe listens on the TCP address and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(lis)
+}
+
+// InProcess returns a Client connected to the server through an
+// in-memory synchronous pipe — the same codec, connection handling and
+// admission path as TCP, no sockets. It is the transport of the e2e
+// suite. The returned client must be closed by the caller; a client
+// obtained after Shutdown has begun receives io errors.
+func (s *Server) InProcess() *Client {
+	server, client := net.Pipe()
+	if !s.startConn(server) {
+		client.Close()
+	}
+	return NewClient(client)
+}
+
+// Draining reports whether Shutdown has begun (new work is being
+// rejected with StatusDraining).
+func (s *Server) Draining() bool {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	return s.draining
+}
+
+// Shutdown gracefully drains the server: it stops accepting
+// connections and requests (new frames are rejected with
+// StatusDraining), lets every admitted frame detect and respond, then
+// closes the remaining connections and the shard detectors. It
+// returns nil on a complete drain, or ctx's error if the context
+// expires first (workers keep draining in the background; connections
+// are then closed on the spot so readers unblock).
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	s.connMu.Lock()
+	if s.lis != nil {
+		s.lis.Close()
+	}
+	s.connMu.Unlock()
+
+	s.drainMu.Lock()
+	s.draining = true
+	s.drainMu.Unlock()
+	// No admitter can be mid-enqueue past this point: close the queues
+	// so the workers drain the backlog and exit.
+	for _, sh := range s.shards {
+		close(sh.queue)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.workerWG.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+
+	// All drained responses are written; unblock the connection readers.
+	s.connMu.Lock()
+	conns := s.conns
+	s.conns = nil
+	s.connMu.Unlock()
+	for c := range conns {
+		c.Close()
+	}
+	if err != nil {
+		return err
+	}
+	s.connWG.Wait()
+	return nil
+}
