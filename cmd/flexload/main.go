@@ -1,0 +1,535 @@
+// Command flexload is the load generator for the flexserve detection
+// service (DESIGN.md §13): it drives pipelined detection frames from
+// many simulated users over concurrent connections — closed-loop (a
+// fixed in-flight window per connection) or open-loop (a target
+// aggregate frame rate) — and reports throughput and exact latency
+// percentiles. Each user follows a channel-coherence model: its
+// per-subcarrier channels are redrawn every -coherence frames
+// (0 = static, the cross-frame Prepare-reuse steady state), so the
+// served reuse hit rate is a controlled property of the workload.
+//
+// With -spawn it starts an in-process loopback server first (the
+// self-contained benchmark mode that produced BENCH_PR8.json) and
+// includes the server's final metrics snapshot in the -json output.
+//
+// Example:
+//
+//	flexload -spawn -shards 2 -shardworkers 4 -reuse 0 -users 16 -frames 200 -json
+//	flexload -addr :7600 -conns 8 -users 32 -rate 5000 -duration 10s
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flexcore/internal/channel"
+	"flexcore/internal/constellation"
+	"flexcore/internal/core"
+	"flexcore/internal/detector"
+	"flexcore/internal/serve"
+)
+
+type config struct {
+	addr  string
+	spawn bool
+
+	// server knobs (spawn mode)
+	shards       int
+	shardWorkers int
+	queue        int
+	qam          int
+	npe          int
+	threshold    float64
+	strict       bool
+	detWorkers   int
+	reuse        float64
+	backend      string
+
+	// workload
+	conns     int
+	users     int
+	frames    int
+	inflight  int
+	rate      float64
+	duration  time.Duration
+	coherence int
+	seed      uint64
+
+	nr, nt, k, s int
+	sigma2       float64
+}
+
+// result is the -json document: the workload's client-side view plus,
+// in spawn mode, the server's own snapshot (reuse hits, queue
+// high-watermarks, …).
+type result struct {
+	Config         map[string]any  `json:"config"`
+	ElapsedSeconds float64         `json:"elapsed_seconds"`
+	FramesSent     int64           `json:"frames_sent"`
+	FramesOK       int64           `json:"frames_ok"`
+	FramesRejected int64           `json:"frames_rejected"`
+	ThroughputFPS  float64         `json:"throughput_fps"`
+	LatencyMeanUs  float64         `json:"latency_mean_micros"`
+	LatencyP50Us   float64         `json:"latency_p50_micros"`
+	LatencyP95Us   float64         `json:"latency_p95_micros"`
+	LatencyP99Us   float64         `json:"latency_p99_micros"`
+	Server         *serve.Snapshot `json:"server,omitempty"`
+}
+
+func main() {
+	var c config
+	flag.StringVar(&c.addr, "addr", "", "flexserve TCP address to load (empty with -spawn: loopback)")
+	flag.BoolVar(&c.spawn, "spawn", false, "start an in-process loopback server and load it")
+	flag.IntVar(&c.shards, "shards", 2, "[spawn] detection shards")
+	flag.IntVar(&c.shardWorkers, "shardworkers", 1, "[spawn] worker goroutines per shard")
+	flag.IntVar(&c.queue, "queue", 256, "[spawn] per-shard admission backlog")
+	flag.IntVar(&c.qam, "qam", 16, "[spawn] QAM order")
+	flag.IntVar(&c.npe, "npe", 64, "[spawn] FlexCore processing elements")
+	flag.Float64Var(&c.threshold, "threshold", 0, "[spawn] a-FlexCore stopping threshold (0 = fixed NPE; paper uses 0.95)")
+	flag.BoolVar(&c.strict, "strict", false, "[spawn] strict PE deactivation (paper §3.2 literal: out-of-constellation kills the path)")
+	flag.IntVar(&c.detWorkers, "detworkers", 1, "[spawn] per-detector worker pool")
+	flag.Float64Var(&c.reuse, "reuse", -1, "[spawn] Prepare-reuse coherence threshold, keyed per user (<0 = off; 0 = exact-match, output-neutral)")
+	flag.StringVar(&c.backend, "backend", "", "[spawn] kernel backend: complex128 (default) or soa32")
+	flag.IntVar(&c.conns, "conns", 4, "pipelined client connections")
+	flag.IntVar(&c.users, "users", 8, "simulated users (round-robin across connections; user→shard routing is the server's)")
+	flag.IntVar(&c.frames, "frames", 100, "frames per user (closed loop; ignored when -rate is set)")
+	flag.IntVar(&c.inflight, "inflight", 8, "closed-loop in-flight window per connection")
+	flag.Float64Var(&c.rate, "rate", 0, "open-loop aggregate target rate in frames/sec (0 = closed loop)")
+	flag.DurationVar(&c.duration, "duration", 10*time.Second, "open-loop run length")
+	flag.IntVar(&c.coherence, "coherence", 0, "frames between channel redraws per user (0 = static channel)")
+	flag.Uint64Var(&c.seed, "seed", 0xf1ec, "workload seed (frames are deterministic per (seed, user, frame))")
+	flag.IntVar(&c.nr, "nr", 6, "receive antennas")
+	flag.IntVar(&c.nt, "nt", 4, "transmit streams")
+	flag.IntVar(&c.k, "k", 32, "subcarriers per frame")
+	flag.IntVar(&c.s, "s", 1, "OFDM symbols per subcarrier")
+	flag.Float64Var(&c.sigma2, "sigma2", 0.05, "noise variance")
+	jsonOut := flag.Bool("json", false, "emit the run result as JSON on stdout")
+	flag.Parse()
+
+	if !c.spawn && c.addr == "" {
+		fatal(fmt.Errorf("need -addr or -spawn"))
+	}
+	if c.conns <= 0 || c.users <= 0 {
+		fatal(fmt.Errorf("-conns and -users must be positive"))
+	}
+	if c.users < c.conns {
+		c.conns = c.users
+	}
+
+	var srv *serve.Server
+	if c.spawn {
+		var err error
+		srv, err = spawnServer(&c)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	res, err := run(&c)
+	if err != nil {
+		fatal(err)
+	}
+	if srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fatal(fmt.Errorf("drain: %w", err))
+		}
+		snap := srv.Metrics()
+		res.Server = &snap
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("flexload: %d frames ok, %d rejected in %.2fs — %.0f frames/sec\n",
+		res.FramesOK, res.FramesRejected, res.ElapsedSeconds, res.ThroughputFPS)
+	fmt.Printf("flexload: latency µs — mean %.0f, p50 %.0f, p95 %.0f, p99 %.0f\n",
+		res.LatencyMeanUs, res.LatencyP50Us, res.LatencyP95Us, res.LatencyP99Us)
+	if res.Server != nil {
+		var hits, misses int64
+		for _, st := range res.Server.ShardStats {
+			hits += st.ReuseHits
+			misses += st.ReuseMisses
+		}
+		fmt.Printf("flexload: server — %d completed, reuse hits/misses %d/%d\n", res.Server.Completed, hits, misses)
+	}
+}
+
+// spawnServer starts the loopback server described by the [spawn] flags
+// and points c.addr at it.
+func spawnServer(c *config) (*serve.Server, error) {
+	cons, err := constellation.New(c.qam)
+	if err != nil {
+		return nil, err
+	}
+	backend, ok := core.ParseBackend(c.backend)
+	if !ok {
+		return nil, fmt.Errorf("unknown backend %q", c.backend)
+	}
+	opts := core.Options{NPE: c.npe, Threshold: c.threshold, StrictDeactivation: c.strict, Workers: c.detWorkers, Backend: backend}
+	if c.reuse >= 0 {
+		opts.PathReuse = true
+		opts.ReuseThreshold = c.reuse
+	}
+	srv, err := serve.NewServer(serve.Config{
+		Shards:          c.shards,
+		WorkersPerShard: c.shardWorkers,
+		QueueDepth:      c.queue,
+		DetectorFactory: func() detector.Detector { return core.New(cons, opts) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go srv.Serve(lis)
+	c.addr = lis.Addr().String()
+	return srv, nil
+}
+
+// user is one simulated uplink user: its identity and its private
+// channel/data RNG state under the coherence model.
+type user struct {
+	id    uint64
+	sent  uint64 // frames generated so far
+	chans []*matrixBuf
+}
+
+// matrixBuf caches one user's current per-subcarrier channel draw so a
+// static user re-sends bit-identical H arrays (the reuse contract needs
+// exact bits, not a re-derivation).
+type matrixBuf struct {
+	data []complex128
+}
+
+// fillFrame writes user u's next frame into q. The channel is redrawn
+// from the coherence-keyed stream every `coherence` frames (epoch
+// change); transmitted symbols and noise always come from the
+// frame-keyed stream, so payloads differ even when channels repeat.
+func fillFrame(c *config, u *user, q *serve.DetectRequest) error {
+	u.sent++
+	frameID := u.sent
+	q.UserID, q.FrameID, q.Sigma2 = u.id, frameID, c.sigma2
+	if err := q.SetGeometry(c.nr, c.nt, c.k, c.s); err != nil {
+		return err
+	}
+	epoch := uint64(0)
+	if c.coherence > 0 {
+		epoch = (frameID - 1) / uint64(c.coherence)
+	}
+	redraw := u.chans == nil || (c.coherence > 0 && (frameID-1)%uint64(c.coherence) == 0)
+	if u.chans == nil {
+		u.chans = make([]*matrixBuf, c.k)
+		for k := range u.chans {
+			u.chans[k] = &matrixBuf{data: make([]complex128, c.nr*c.nt)}
+		}
+	}
+	if redraw {
+		chRNG := channel.NewStreamRNG(c.seed, u.id<<24|epoch)
+		for k := 0; k < c.k; k++ {
+			h := channel.Rayleigh(chRNG, c.nr, c.nt)
+			copy(u.chans[k].data, h.Data)
+		}
+	}
+	dataRNG := channel.NewStreamRNG(c.seed^0xda7a, u.id<<24|frameID)
+	x := make([]complex128, c.nt)
+	for k := 0; k < c.k; k++ {
+		hm := q.H()[k]
+		copy(hm.Data, u.chans[k].data)
+		for _, y := range q.Burst(k) {
+			for i := range x {
+				x[i] = channel.CN(dataRNG, 1)
+			}
+			copy(y, hm.MulVec(x))
+			channel.AddAWGN(dataRNG, y, c.sigma2)
+		}
+	}
+	return nil
+}
+
+// connStats is one connection's tally, merged after the run.
+type connStats struct {
+	sent, ok, rejected int64
+	lat                []time.Duration
+	err                error
+}
+
+// run drives the workload and aggregates the client-side result.
+func run(c *config) (*result, error) {
+	// Users round-robin onto connections; a user's frames all ride one
+	// connection, so per-user response order is observable end to end.
+	connUsers := make([][]*user, c.conns)
+	for i := 0; i < c.users; i++ {
+		connUsers[i%c.conns] = append(connUsers[i%c.conns], &user{id: uint64(1 + i*13)})
+	}
+
+	// Closed-loop runs pregenerate every frame before the clock starts:
+	// synthesising a frame (Rayleigh draws, MulVec, AWGN) costs the same
+	// order as detecting it, and on a small host that client-side work
+	// would otherwise share cores with the server and dominate the timed
+	// window, masking exactly the server-side effects being measured.
+	// Open-loop runs are duration-bound (frame count unknown up front)
+	// and synthesise inline; their pacing loop absorbs the cost.
+	var connReqs [][]*serve.DetectRequest
+	if c.rate <= 0 {
+		connReqs = make([][]*serve.DetectRequest, c.conns)
+		for i, users := range connUsers {
+			reqs := make([]*serve.DetectRequest, 0, c.frames*len(users))
+			for n := 0; n < c.frames*len(users); n++ {
+				q := new(serve.DetectRequest)
+				if err := fillFrame(c, users[n%len(users)], q); err != nil {
+					return nil, err
+				}
+				reqs = append(reqs, q)
+			}
+			connReqs[i] = reqs
+		}
+	}
+
+	stats := make([]connStats, c.conns)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < c.conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var reqs []*serve.DetectRequest
+			if connReqs != nil {
+				reqs = connReqs[i]
+			}
+			stats[i] = driveConn(c, connUsers[i], reqs, start)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &result{
+		Config: map[string]any{
+			"addr": c.addr, "spawn": c.spawn, "shards": c.shards,
+			"shardworkers": c.shardWorkers, "queue": c.queue, "qam": c.qam,
+			"npe": c.npe, "threshold": c.threshold, "strict": c.strict, "detworkers": c.detWorkers, "reuse": c.reuse,
+			"backend": c.backend, "conns": c.conns, "users": c.users,
+			"frames": c.frames, "inflight": c.inflight, "rate": c.rate,
+			"coherence": c.coherence, "seed": c.seed,
+			"nr": c.nr, "nt": c.nt, "k": c.k, "s": c.s, "sigma2": c.sigma2,
+		},
+		ElapsedSeconds: elapsed.Seconds(),
+	}
+	var all []time.Duration
+	for i := range stats {
+		if stats[i].err != nil {
+			return nil, stats[i].err
+		}
+		res.FramesSent += stats[i].sent
+		res.FramesOK += stats[i].ok
+		res.FramesRejected += stats[i].rejected
+		all = append(all, stats[i].lat...)
+	}
+	if res.ElapsedSeconds > 0 {
+		res.ThroughputFPS = float64(res.FramesOK) / res.ElapsedSeconds
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+		var sum time.Duration
+		for _, d := range all {
+			sum += d
+		}
+		res.LatencyMeanUs = float64(sum.Microseconds()) / float64(len(all))
+		res.LatencyP50Us = float64(pct(all, 50).Microseconds())
+		res.LatencyP95Us = float64(pct(all, 95).Microseconds())
+		res.LatencyP99Us = float64(pct(all, 99).Microseconds())
+	}
+	return res, nil
+}
+
+// pct returns the p-th percentile of sorted samples (nearest-rank).
+func pct(sorted []time.Duration, p int) time.Duration {
+	idx := (len(sorted)*p + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return sorted[idx]
+}
+
+// driveConn runs one connection's workload: closed loop (in-flight
+// window over pregenerated frames, Queue/Flush coalescing) or open loop
+// (paced inline-synthesised sends with a concurrent reader).
+func driveConn(c *config, users []*user, reqs []*serve.DetectRequest, start time.Time) connStats {
+	var st connStats
+	if len(users) == 0 {
+		return st
+	}
+	cl, err := serve.Dial(c.addr)
+	if err != nil {
+		st.err = err
+		return st
+	}
+	defer cl.Close()
+
+	// sendAt maps an on-the-wire (user, frame) key to its send time.
+	// Guarded by mu: the open-loop mode reads responses on a separate
+	// goroutine (Client.Queue and Client.Recv are individually
+	// thread-safe).
+	type key struct{ user, frame uint64 }
+	var mu sync.Mutex
+	sendAt := make(map[key]time.Time, c.inflight*len(users)+1)
+	var q serve.DetectRequest
+	next := 0 // round-robin user cursor (open loop) / send index (closed loop)
+
+	send := func() error {
+		qp := &q
+		if reqs != nil {
+			qp = reqs[next]
+			next++
+		} else {
+			u := users[next]
+			next = (next + 1) % len(users)
+			if err := fillFrame(c, u, qp); err != nil {
+				return err
+			}
+		}
+		mu.Lock()
+		sendAt[key{qp.UserID, qp.FrameID}] = time.Now()
+		st.sent++
+		mu.Unlock()
+		return cl.Queue(qp)
+	}
+	var resp serve.DetectResponse
+	recv := func() error {
+		if err := cl.Recv(&resp); err != nil {
+			return err
+		}
+		// Responses echo FrameID only; recover the user by matching the
+		// outstanding frame with that ID (FrameIDs are per-user
+		// sequence numbers, unique per user).
+		mu.Lock()
+		for _, u := range users {
+			k := key{u.id, resp.FrameID}
+			if t0, ok := sendAt[k]; ok {
+				st.lat = append(st.lat, time.Since(t0))
+				delete(sendAt, k)
+				break
+			}
+		}
+		if resp.Status == serve.StatusOK {
+			st.ok++
+		} else {
+			st.rejected++
+		}
+		mu.Unlock()
+		return nil
+	}
+
+	if c.rate > 0 {
+		st.err = openLoop(c, cl, send, recv)
+		return st
+	}
+
+	total := int64(c.frames * len(users))
+	var recvd int64
+	for recvd < total {
+		for st.sent < total && st.sent-recvd < int64(c.inflight) {
+			if err := send(); err != nil {
+				st.err = err
+				return st
+			}
+		}
+		if err := cl.Flush(); err != nil {
+			st.err = err
+			return st
+		}
+		if err := recv(); err != nil {
+			st.err = err
+			return st
+		}
+		recvd++
+	}
+	return st
+}
+
+// openLoop paces this connection's share of the aggregate target rate
+// until the run duration elapses, with a concurrent reader recording
+// latencies as responses arrive (a lazily-read response would otherwise
+// charge client-side batching to the server), then drains what is still
+// outstanding.
+func openLoop(c *config, cl *serve.Client, send func() error, recv func() error) error {
+	interval := time.Duration(float64(time.Second) * float64(c.conns) / c.rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	stop := make(chan struct{})
+	readerErr := make(chan error, 1)
+	var sent atomic.Int64
+	var recvd int64
+	go func() {
+		for {
+			select {
+			case <-stop:
+				// Drain the remainder, then report.
+				for recvd < sent.Load() {
+					if err := recv(); err != nil {
+						readerErr <- err
+						return
+					}
+					recvd++
+				}
+				readerErr <- nil
+				return
+			default:
+			}
+			if recvd < sent.Load() { // outstanding responses exist or will shortly
+				if err := recv(); err != nil {
+					readerErr <- err
+					return
+				}
+				recvd++
+			} else {
+				time.Sleep(interval / 2)
+			}
+		}
+	}()
+	deadline := time.Now().Add(c.duration)
+	nextSend := time.Now()
+	for time.Now().Before(deadline) {
+		if err := send(); err != nil {
+			close(stop)
+			<-readerErr
+			return err
+		}
+		if err := cl.Flush(); err != nil {
+			close(stop)
+			<-readerErr
+			return err
+		}
+		sent.Add(1)
+		nextSend = nextSend.Add(interval)
+		if d := time.Until(nextSend); d > 0 {
+			time.Sleep(d)
+		} else {
+			nextSend = time.Now() // behind schedule: don't burst to catch up
+		}
+	}
+	close(stop)
+	return <-readerErr
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flexload:", err)
+	os.Exit(1)
+}

@@ -1,18 +1,21 @@
 // Command flexserve is the long-running FlexCore detection service
-// (DESIGN.md §12): it accepts concurrent uplink detection frames from
-// many users over a length-prefixed binary TCP protocol, shards them
-// across per-shard FlexCore detector pools with consistent user→shard
-// routing, applies bounded admission queues with explicit overload
-// rejection, and exposes a JSON metrics endpoint (latency histogram,
-// throughput, queue depths, rejection counts, aggregated
-// OpCount/PreprocessStats). On SIGINT/SIGTERM it drains gracefully:
-// admitted frames detect and respond, new work is rejected with
-// StatusDraining.
+// (DESIGN.md §12–13): it accepts concurrent uplink detection frames
+// from many users over a length-prefixed binary TCP protocol, shards
+// them across per-shard worker pools (several detectors per shard,
+// per-user FIFO sequencing) with consistent user→shard routing,
+// applies bounded admission queues with explicit overload rejection,
+// reuses each user's Prepare results across frames when -reuse is set,
+// coalesces response writes per connection, and exposes a JSON metrics
+// endpoint (latency histogram, throughput, per-shard queue depths and
+// high-watermarks, reuse hit/miss counters, rejection counts,
+// aggregated OpCount/PreprocessStats). On SIGINT/SIGTERM it drains
+// gracefully: admitted frames detect and respond, new work is rejected
+// with StatusDraining.
 //
 // Example:
 //
 //	flexserve -listen :7600 -metrics :7601 -shards 4 -qam 16 -npe 64
-//	flexserve -listen :7600 -shards 8 -qam 64 -npe 128 -backend soa32 -threshold 0.95
+//	flexserve -listen :7600 -shards 8 -shardworkers 4 -reuse 0 -qam 64 -npe 128 -backend soa32
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -34,15 +38,18 @@ import (
 func main() {
 	listen := flag.String("listen", ":7600", "TCP address for the frame-ingest protocol")
 	metricsAddr := flag.String("metrics", ":7601", "HTTP address for /metrics and /healthz (empty disables)")
-	shards := flag.Int("shards", 4, "detection shards (one detector pool + admission queue each)")
+	shards := flag.Int("shards", 4, "detection shards (one admission queue + worker pool each)")
+	shardWorkers := flag.Int("shardworkers", 1, "worker goroutines per shard, one detector each (per-user order is preserved for any value)")
 	queue := flag.Int("queue", 256, "per-shard admission queue depth (full queue ⇒ StatusOverloaded)")
+	userCap := flag.Int("usercap", 0, "per-shard tracked-user state cap (0 = default; idle users evict FIFO)")
 	qam := flag.Int("qam", 16, "QAM order served (4, 16, 64, 256, 1024)")
 	npe := flag.Int("npe", 64, "FlexCore processing elements per detector")
 	threshold := flag.Float64("threshold", 0, "a-FlexCore stopping threshold (0 = fixed NPE; paper uses 0.95)")
 	workers := flag.Int("workers", 0, "per-detector worker pool (0/1 = sequential; decisions are identical for any value)")
-	reuse := flag.Float64("reuse", -1, "coherence threshold for position-vector reuse across subcarriers (<0 = off)")
+	reuse := flag.Float64("reuse", -1, "coherence threshold for position-vector reuse, within frames and per user across frames (<0 = off; 0 = exact-match, output-neutral)")
 	backendName := flag.String("backend", "", "kernel backend: complex128 (default) or soa32")
 	drainTimeout := flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGINT/SIGTERM")
+	pprof := flag.Bool("pprof", false, "mount net/http/pprof profiling handlers on the metrics address")
 	flag.Parse()
 
 	cons, err := constellation.New(*qam)
@@ -65,8 +72,10 @@ func main() {
 	}
 
 	srv, err := serve.NewServer(serve.Config{
-		Shards:     *shards,
-		QueueDepth: *queue,
+		Shards:          *shards,
+		WorkersPerShard: *shardWorkers,
+		QueueDepth:      *queue,
+		UserStateCap:    *userCap,
 		DetectorFactory: func() detector.Detector {
 			return core.New(cons, opts)
 		},
@@ -85,6 +94,16 @@ func main() {
 			}
 			fmt.Fprintln(w, "ok")
 		})
+		if *pprof {
+			// net/http/pprof self-registers on http.DefaultServeMux,
+			// which flexserve never serves; mount the handlers on the
+			// metrics mux explicitly so profiling shares that listener.
+			mux.HandleFunc("/debug/pprof/", httppprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		}
 		go func() {
 			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
 				fmt.Fprintf(os.Stderr, "flexserve: metrics endpoint: %v\n", err)
@@ -105,8 +124,8 @@ func main() {
 		}
 	}()
 
-	fmt.Printf("flexserve: %d-QAM, %d shards × (NPE=%d, workers=%d, backend=%s), queue depth %d\n",
-		*qam, *shards, *npe, *workers, backend, *queue)
+	fmt.Printf("flexserve: %d-QAM, %d shards × %d workers × (NPE=%d, detworkers=%d, backend=%s), queue depth %d\n",
+		*qam, *shards, *shardWorkers, *npe, *workers, backend, *queue)
 	fmt.Printf("flexserve: listening on %s (metrics on %s)\n", *listen, *metricsAddr)
 	if err := srv.ListenAndServe(*listen); err != nil {
 		fatal(err)

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"flexcore/internal/cmatrix"
 	"flexcore/internal/constellation"
 )
 
@@ -149,5 +150,48 @@ func TestPrepareAllRegrowThenSettle(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("PrepareAll after shrink: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestReuseStateSteadyStateAllocFree gates the cross-frame reuse path:
+// once a user's ReuseState has been based on a frame, both re-sent
+// frames (every subcarrier an external hit — the static-channel serve
+// steady state) and changed frames (every subcarrier a miss + re-base)
+// run allocation-free from retained arenas.
+func TestReuseStateSteadyStateAllocFree(t *testing.T) {
+	cons := constellation.MustNew(16)
+	const nr, nt, nSC = 6, 4, 8
+	fa := frameChannels(407, nr, nt, nSC)
+	fb := frameChannels(408, nr, nt, nSC)
+	fc := New(cons, Options{NPE: 32, PathReuse: true, ReuseThreshold: 0})
+	defer fc.Close()
+	var st ReuseState
+	fc.SetReuseState(&st)
+	for _, hs := range [][]*cmatrix.Matrix{fa, fa, fb, fb} { // warm both hit and re-base paths
+		if err := fc.PrepareAll(hs, 0.05); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := fc.PrepareAll(fb, 0.05); err != nil { // all-hit frame
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("PrepareAll with all external hits: %.1f allocs/op, want 0", allocs)
+	}
+	i := 0
+	allocs = testing.AllocsPerRun(20, func() {
+		i++
+		hs := fa
+		if i%2 == 0 {
+			hs = fb
+		}
+		if err := fc.PrepareAll(hs, 0.05); err != nil { // all-miss frame: re-base
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("PrepareAll with external re-base: %.1f allocs/op, want 0", allocs)
 	}
 }

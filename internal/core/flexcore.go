@@ -113,6 +113,7 @@ type FlexCore struct {
 	finder   pathFinder
 	finder32 pathFinder32
 	reuse    reuseCache
+	extReuse *ReuseState // caller-owned cross-frame bases (SetReuseState)
 
 	// SoA-backend planes and scratch (Options.Backend == BackendSoA32).
 	soa soaState
@@ -223,6 +224,21 @@ func (d *FlexCore) countSimilarity(n int) {
 	d.ops.RealMuls += muls
 	d.ops.FLOPs += 2 * muls
 }
+
+// SetReuseState installs (or, with nil, removes) an externally-owned
+// cross-frame coherence base for PrepareAll: with Options.PathReuse
+// enabled, each subcarrier of a prepared frame first tests the state's
+// base for the same subcarrier before the within-frame chain, and the
+// state is re-based on the frame's results afterwards. The caller keys
+// the state however it likes — the serving layer installs one per user
+// before each frame, so a user's static channel skips the
+// candidate-position search across frames. It has no effect on the
+// scalar Prepare path (which keeps the detector-internal depth-1
+// cache) or when PathReuse is disabled. See ReuseState for the
+// single-detector-at-a-time contract.
+//
+//flexcore:noalloc
+func (d *FlexCore) SetReuseState(st *ReuseState) { d.extReuse = st }
 
 // ActivePaths returns the number of processing elements activated for the
 // current channel (< NPE only for a-FlexCore).

@@ -80,6 +80,62 @@ func (c *reuseCache) store(r *cmatrix.Matrix, sigma2 float64, paths []Path, cum 
 	c.valid = true
 }
 
+// ReuseState carries PrepareAll's coherence bases across frames: one
+// (R, σ², position-vector) base per subcarrier of the last prepared
+// frame. Installed on a detector with SetReuseState, it lets a caller
+// key the PathReuse cache by any identity it chooses — the serving
+// layer keys it per user, so a user whose channel is static or slowly
+// varying across frames skips the §3.1.1 candidate-position search on
+// every re-sent H, not only within one frame. With ReuseThreshold = 0
+// a hit requires a bit-identical (R, σ²), so reuse is provably
+// output-neutral (the same proof as the scalar cache, DESIGN.md §9).
+//
+// A ReuseState must be installed on at most one detector at a time,
+// and hand-offs between detectors must be externally synchronized
+// (the serving layer's per-user FIFO sequencing provides exactly
+// that). The zero value is ready to use; all storage is state-owned
+// and regrows only past its high-water mark.
+type ReuseState struct {
+	slots []reuseCache
+}
+
+// Valid reports whether the state holds at least one subcarrier base.
+func (st *ReuseState) Valid() bool {
+	for i := range st.slots {
+		if st.slots[i].valid {
+			return true
+		}
+	}
+	return false
+}
+
+// Reset invalidates every subcarrier base, keeping the arenas for
+// reuse (the serving layer recycles evicted per-user states).
+func (st *ReuseState) Reset() {
+	for i := range st.slots {
+		st.slots[i].valid = false
+	}
+}
+
+// update re-bases the per-subcarrier slots on the frame just prepared.
+// A subcarrier that hit its own external base keeps it untouched — the
+// base R stays pinned until a miss, matching the scalar cache's
+// semantics — while fresh subcarriers (and within-frame chain hits)
+// store their actual (R, paths). Copies are state-owned, so later
+// frames cannot corrupt a detector's selected slots.
+func (st *ReuseState) update(frame []prepSlot, sigma2 float64) {
+	for len(st.slots) < len(frame) {
+		st.slots = append(st.slots, reuseCache{})
+	}
+	for k := range frame {
+		s := &frame[k]
+		if s.hit && s.base == extBase {
+			continue
+		}
+		st.slots[k].store(s.qr.R, sigma2, s.paths, s.cum)
+	}
+}
+
 // copyPaths clones a path set into reusable header/rank arenas and
 // returns the (possibly regrown) arenas.
 func copyPaths(src, hdr []Path, ranks []int) ([]Path, []int) {
@@ -117,8 +173,13 @@ type prepSlot struct {
 
 	stats PreprocessStats // fresh-search stats; zero for reuse hits
 	hit   bool
-	base  int32 // slot whose paths a hit aliases (-1 for fresh)
+	base  int32 // slot whose paths a hit aliases (-1 fresh, extBase external)
 }
+
+// extBase marks a slot whose coherence hit came from the installed
+// ReuseState (the previous frame's base for the same subcarrier)
+// rather than from a slot of the current frame.
+const extBase int32 = -2
 
 // storePaths clones the finder's result into the slot-owned arenas.
 func (s *prepSlot) storePaths(paths []Path, stats PreprocessStats) {
@@ -155,6 +216,12 @@ func (d *FlexCore) findSlotPaths(s *prepSlot, f *pathFinder) {
 // a subcarrier within ReuseThreshold of the last fresh-prepared one
 // aliases its position vectors instead of searching again (adjacent
 // subcarriers inside the coherence bandwidth — the dominant OFDM case).
+//
+// With a ReuseState installed (SetReuseState), the coherence test also
+// spans frames: each subcarrier first tries the previous frame's base
+// for the same subcarrier, so a static or slowly-varying channel skips
+// every search on a re-sent H, and the state is re-based on this
+// frame's results afterwards.
 //
 // The hit/miss decisions are made sequentially in subcarrier order over
 // the already-computed R factors, so results are identical for every
@@ -195,22 +262,40 @@ func (d *FlexCore) PrepareAll(hs []*cmatrix.Matrix, sigma2 float64) error {
 		}
 	}
 
-	// Stage 2 — sequential coherence chain over the computed R factors
-	// (cheap: one normalized Frobenius distance per subcarrier), marking
-	// each slot fresh or aliasing it to its coherence base.
+	// Stage 2 — sequential coherence tests over the computed R factors
+	// (cheap: one normalized Frobenius distance per comparison), marking
+	// each slot fresh or aliasing it to its coherence base. With an
+	// installed ReuseState, subcarrier k first tries the previous
+	// frame's base for the same subcarrier — the sharper key: a static
+	// or slowly-varying channel hits on every subcarrier and skips the
+	// search entirely — then falls back to the within-frame chain (the
+	// last fresh-prepared subcarrier of this frame). Decisions are made
+	// in subcarrier order, so results are identical for every worker
+	// count.
 	d.missIdx = d.missIdx[:0]
 	base := int32(-1)
+	ext := d.extReuse
 	for k := range frame {
 		s := &frame[k]
 		s.hit = false
 		s.base = -1
 		s.stats = PreprocessStats{}
-		if d.opts.PathReuse && base >= 0 {
-			d.countSimilarity(n)
-			if similarR(frame[base].qr.R, s.qr.R, d.opts.ReuseThreshold) {
-				s.hit = true
-				s.base = base
-				continue
+		if d.opts.PathReuse {
+			if ext != nil && k < len(ext.slots) && ext.slots[k].valid {
+				d.countSimilarity(n)
+				if ext.slots[k].match(s.qr.R, sigma2, d.opts.ReuseThreshold) {
+					s.hit = true
+					s.base = extBase
+					continue
+				}
+			}
+			if base >= 0 {
+				d.countSimilarity(n)
+				if similarR(frame[base].qr.R, s.qr.R, d.opts.ReuseThreshold) {
+					s.hit = true
+					s.base = base
+					continue
+				}
 			}
 		}
 		base = int32(k)
@@ -236,12 +321,23 @@ func (d *FlexCore) PrepareAll(hs []*cmatrix.Matrix, sigma2 float64) error {
 
 	// Resolve hit aliases and fold the counters in subcarrier order, so
 	// the cumulative stats are identical for every worker count.
+	// External hits copy the base's position vectors into slot-owned
+	// arenas (a rank copy, negligible next to the skipped search):
+	// the ReuseState may be re-based by a later frame — possibly on a
+	// different detector — while this frame's slots are still selected.
 	for k := range frame {
 		s := &frame[k]
 		if s.hit {
-			b := &frame[s.base]
-			s.paths = b.paths
-			s.cum = b.cum
+			if s.base == extBase {
+				e := &ext.slots[k]
+				s.hdr, s.ranks = copyPaths(e.paths, s.hdr, s.ranks)
+				s.paths = s.hdr
+				s.cum = e.cum
+			} else {
+				b := &frame[s.base]
+				s.paths = b.paths
+				s.cum = b.cum
+			}
 			d.ppOps.CacheHits++
 		} else {
 			d.ppOps.RealMuls += s.stats.RealMuls
@@ -256,6 +352,9 @@ func (d *FlexCore) PrepareAll(hs []*cmatrix.Matrix, sigma2 float64) error {
 		d.ops.FLOPs += 2 * muls
 	}
 	d.ppOps.CumulativeProb = frame[len(frame)-1].cum
+	if d.opts.PathReuse && ext != nil {
+		ext.update(frame, sigma2) //lint:ignore noalloc amortised: state arenas regrow only past their high-water mark
+	}
 	return nil
 }
 

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"testing"
+
+	"flexcore/internal/channel"
+	"flexcore/internal/cmatrix"
+	"flexcore/internal/constellation"
+)
+
+// detectFrame prepares hs with PrepareAll and detects one burst per
+// subcarrier, returning cloned decisions.
+func detectFrame(t *testing.T, fc *FlexCore, hs []*cmatrix.Matrix, ys [][]complex128, sigma2 float64) [][]int {
+	t.Helper()
+	if err := fc.PrepareAll(hs, sigma2); err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]int, len(hs))
+	for k := range hs {
+		if err := fc.Select(k); err != nil {
+			t.Fatal(err)
+		}
+		out[k] = append([]int(nil), fc.Detect(ys[k])...)
+	}
+	return out
+}
+
+// TestReuseStateCrossFrameExact pins the tentpole guarantee of the
+// cross-frame coherence state: with ReuseThreshold = 0 an installed
+// ReuseState only fires on bit-identical (R, σ²), so a detector carrying
+// per-user state across frames produces decisions identical to a fresh
+// no-reuse detector — while a static channel (the same H re-sent every
+// frame) skips the candidate-position search on every subcarrier from
+// the second frame on.
+func TestReuseStateCrossFrameExact(t *testing.T) {
+	cons := constellation.MustNew(16)
+	const nr, nt, nSC, nFrames = 5, 4, 8, 4
+	sigma2 := channel.Sigma2FromSNRdB(16, 1)
+	// A static frequency-selective channel: every frame re-sends the
+	// same per-subcarrier H array, as a stationary user would.
+	hs := frameChannels(71, nr, nt, nSC)
+	rng := newRng(72)
+	frames := make([][][]complex128, nFrames)
+	for f := range frames {
+		ys := make([][]complex128, nSC)
+		for k := range ys {
+			ys[k] = transmit(rng, hs[k], cons, randSymbols(rng, cons, nt), sigma2)
+		}
+		frames[f] = ys
+	}
+
+	for _, workers := range []int{1, 3} {
+		ref := New(cons, Options{NPE: 24, Workers: workers})
+		fc := New(cons, Options{NPE: 24, Workers: workers, PathReuse: true, ReuseThreshold: 0})
+		var st ReuseState
+		fc.SetReuseState(&st)
+		if st.Valid() {
+			t.Fatal("zero-value ReuseState reports Valid")
+		}
+		for f, ys := range frames {
+			want := detectFrame(t, ref, hs, ys, sigma2)
+			got := detectFrame(t, fc, hs, ys, sigma2)
+			for k := range want {
+				if !equalInts(got[k], want[k]) {
+					t.Fatalf("workers=%d frame %d subcarrier %d: reuse-state decisions %v, want %v",
+						workers, f, k, got[k], want[k])
+				}
+			}
+		}
+		if !st.Valid() {
+			t.Fatal("ReuseState not valid after prepared frames")
+		}
+		// Frame 0 pays nSC fresh searches; every later frame re-sends the
+		// identical H array and must hit the external base on all nSC
+		// subcarriers (the frame-0 within-frame chain gets no hits: the
+		// subcarriers are distinct and thr = 0).
+		pp := fc.PreprocessStats()
+		if wantHits := int64((nFrames - 1) * nSC); pp.CacheHits != wantHits {
+			t.Fatalf("workers=%d: CacheHits = %d, want %d (all subcarriers of frames 2..%d)",
+				workers, pp.CacheHits, wantHits, nFrames)
+		}
+		if pp.CacheMisses != nSC {
+			t.Fatalf("workers=%d: CacheMisses = %d, want %d (frame 1 only)", workers, pp.CacheMisses, nSC)
+		}
+		ref.Close()
+		fc.Close()
+	}
+}
+
+// TestReuseStatePerturbedRebase drives a slowly-varying channel through
+// a shared state: a perturbed frame misses (thr = 0), re-bases the
+// state, and the perturbed frame re-sent afterwards hits again — the
+// pin-until-miss semantics of ReuseState.update.
+func TestReuseStatePerturbedRebase(t *testing.T) {
+	cons := constellation.MustNew(16)
+	const nr, nt, nSC = 5, 4, 6
+	sigma2 := channel.Sigma2FromSNRdB(16, 1)
+	ha := frameChannels(81, nr, nt, nSC)
+	hb := frameChannels(82, nr, nt, nSC) // an independent draw: guaranteed miss at thr=0
+	rng := newRng(83)
+	ys := make([][]complex128, nSC)
+	for k := range ys {
+		ys[k] = transmit(rng, ha[k], cons, randSymbols(rng, cons, nt), sigma2)
+	}
+
+	fc := New(cons, Options{NPE: 24, PathReuse: true, ReuseThreshold: 0})
+	defer fc.Close()
+	var st ReuseState
+	fc.SetReuseState(&st)
+
+	ref := New(cons, Options{NPE: 24})
+	defer ref.Close()
+
+	hits := func() int64 { return fc.PreprocessStats().CacheHits }
+	step := func(hs []*cmatrix.Matrix) {
+		t.Helper()
+		want := detectFrame(t, ref, hs, ys, sigma2)
+		got := detectFrame(t, fc, hs, ys, sigma2)
+		for k := range want {
+			if !equalInts(got[k], want[k]) {
+				t.Fatalf("decisions diverged on subcarrier %d", k)
+			}
+		}
+	}
+
+	step(ha) // fresh
+	step(hb) // channel changed: every subcarrier misses and re-bases
+	if h := hits(); h != 0 {
+		t.Fatalf("perturbed frame hit the stale base %d times, want 0", h)
+	}
+	step(hb) // re-sent: the re-based state hits everywhere
+	if h := hits(); h != nSC {
+		t.Fatalf("re-sent frame after re-base: CacheHits = %d, want %d", h, nSC)
+	}
+
+	// Reset invalidates the bases without touching correctness.
+	st.Reset()
+	if st.Valid() {
+		t.Fatal("ReuseState valid after Reset")
+	}
+	step(hb)
+	if h := hits(); h != nSC {
+		t.Fatalf("frame after Reset hit %d times, want 0 new hits", h-nSC)
+	}
+	step(hb)
+	if h := hits(); h != 2*nSC {
+		t.Fatalf("re-sent frame after Reset: CacheHits = %d, want %d", h, 2*nSC)
+	}
+}
+
+// TestReuseStateGeometryChange covers frame-size churn on one state: a
+// larger frame grows the slot array, a smaller frame only consults its
+// prefix, and decisions stay pinned to the no-reuse reference
+// throughout.
+func TestReuseStateGeometryChange(t *testing.T) {
+	cons := constellation.MustNew(4)
+	const nr, nt = 4, 3
+	sigma2 := channel.Sigma2FromSNRdB(14, 1)
+	small := frameChannels(91, nr, nt, 4)
+	large := frameChannels(92, nr, nt, 10)
+	rng := newRng(93)
+	ysL := make([][]complex128, len(large))
+	for k := range ysL {
+		ysL[k] = transmit(rng, large[k], cons, randSymbols(rng, cons, nt), sigma2)
+	}
+
+	fc := New(cons, Options{NPE: 8, PathReuse: true, ReuseThreshold: 0})
+	defer fc.Close()
+	ref := New(cons, Options{NPE: 8})
+	defer ref.Close()
+	var st ReuseState
+	fc.SetReuseState(&st)
+
+	for _, hs := range [][]*cmatrix.Matrix{small, large, large, small, small} {
+		ys := ysL[:len(hs)]
+		want := detectFrame(t, ref, hs, ys, sigma2)
+		got := detectFrame(t, fc, hs, ys, sigma2)
+		for k := range want {
+			if !equalInts(got[k], want[k]) {
+				t.Fatalf("frame of %d subcarriers, subcarrier %d: decisions diverged", len(hs), k)
+			}
+		}
+	}
+	// large repeated (10 hits) + small repeated (4 hits); the first
+	// small frame's bases were overwritten by the first large frame.
+	if pp := fc.PreprocessStats(); pp.CacheHits != 14 {
+		t.Fatalf("CacheHits = %d, want 14 across the geometry churn", pp.CacheHits)
+	}
+
+	// Detaching the state returns the detector to within-frame-only
+	// reuse: a re-sent frame no longer hits (distinct subcarriers,
+	// thr = 0).
+	fc.SetReuseState(nil)
+	before := fc.PreprocessStats().CacheHits
+	_ = detectFrame(t, fc, small, ysL[:len(small)], sigma2)
+	if pp := fc.PreprocessStats(); pp.CacheHits != before {
+		t.Fatalf("detached detector still hit the external base (%d new hits)", pp.CacheHits-before)
+	}
+}
+
+// TestReuseStateHandoff moves one user's state between two detectors —
+// the serving layer's worker-pool pattern, where any worker of a shard
+// may process a user's next frame. The second detector must hit the
+// bases the first one stored and keep decisions bit-identical.
+func TestReuseStateHandoff(t *testing.T) {
+	cons := constellation.MustNew(16)
+	const nr, nt, nSC = 5, 4, 6
+	sigma2 := channel.Sigma2FromSNRdB(16, 1)
+	hs := frameChannels(61, nr, nt, nSC)
+	rng := newRng(62)
+	ys := make([][]complex128, nSC)
+	for k := range ys {
+		ys[k] = transmit(rng, hs[k], cons, randSymbols(rng, cons, nt), sigma2)
+	}
+	ref := New(cons, Options{NPE: 24})
+	defer ref.Close()
+	want := detectFrame(t, ref, hs, ys, sigma2)
+
+	opts := Options{NPE: 24, PathReuse: true, ReuseThreshold: 0}
+	a, b := New(cons, opts), New(cons, opts)
+	defer a.Close()
+	defer b.Close()
+	var st ReuseState
+
+	for i, fc := range []*FlexCore{a, b, a, b} {
+		fc.SetReuseState(&st)
+		got := detectFrame(t, fc, hs, ys, sigma2)
+		fc.SetReuseState(nil)
+		for k := range want {
+			if !equalInts(got[k], want[k]) {
+				t.Fatalf("handoff step %d subcarrier %d: decisions diverged", i, k)
+			}
+		}
+	}
+	// Steps 2..4 each hit all nSC subcarriers, split across detectors.
+	if ha, hb := a.PreprocessStats().CacheHits, b.PreprocessStats().CacheHits; ha+hb != 3*nSC {
+		t.Fatalf("handoff hits = %d+%d, want %d total", ha, hb, 3*nSC)
+	}
+}

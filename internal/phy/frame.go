@@ -2,6 +2,7 @@ package phy
 
 import (
 	"flexcore/internal/cmatrix"
+	"flexcore/internal/core"
 	"flexcore/internal/detector"
 )
 
@@ -18,13 +19,22 @@ import (
 // A FrameDetector is not safe for concurrent use (detectors are
 // stateful across Prepare/Detect); run one per goroutine or shard.
 type FrameDetector struct {
-	det   detector.Detector
-	batch detector.BatchDetector
-	frame FramePreparer
-	rep   ActivePathReporter
+	det    detector.Detector
+	batch  detector.BatchDetector
+	frame  FramePreparer
+	rep    ActivePathReporter
+	reuser ReuseCarrier
 
 	activeSum float64
 	activeN   int64
+}
+
+// ReuseCarrier is implemented by detectors whose PathReuse coherence
+// cache can be re-keyed onto caller-owned cross-frame state
+// (core.FlexCore). The serving layer uses it to key Prepare reuse per
+// user.
+type ReuseCarrier interface {
+	SetReuseState(*core.ReuseState)
 }
 
 // NewFrameDetector wraps d for frame-at-a-time detection.
@@ -32,7 +42,23 @@ func NewFrameDetector(d detector.Detector) *FrameDetector {
 	f := &FrameDetector{det: d, batch: detector.Batch(d)}
 	f.frame, _ = d.(FramePreparer)
 	f.rep, _ = d.(ActivePathReporter)
+	f.reuser, _ = d.(ReuseCarrier)
 	return f
+}
+
+// SetReuseState installs st as the wrapped detector's cross-frame
+// coherence base for the next DetectFrame calls (nil removes it) and
+// reports whether the detector supports external reuse keying. The
+// type assertion is done once at construction, so per-frame installs
+// stay off the allocation and dispatch hot path.
+//
+//flexcore:noalloc
+func (f *FrameDetector) SetReuseState(st *core.ReuseState) bool {
+	if f.reuser == nil {
+		return false
+	}
+	f.reuser.SetReuseState(st)
+	return true
 }
 
 // Detector returns the wrapped detector.

@@ -143,3 +143,47 @@ func TestFrameDetectorPropagatesPrepareError(t *testing.T) {
 		t.Fatalf("emit called %d times before the failure, want 2", emitted)
 	}
 }
+
+// TestFrameDetectorReuseState covers the SetReuseState passthrough: a
+// FlexCore-backed FrameDetector reports support and a re-sent frame
+// hits the installed per-user state on every subcarrier with decisions
+// unchanged, while a detector without the coherence cache reports
+// false.
+func TestFrameDetectorReuseState(t *testing.T) {
+	cons, err := constellation.New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := core.New(cons, core.Options{NPE: 16, PathReuse: true, ReuseThreshold: 0})
+	defer det.Close()
+	fd := NewFrameDetector(det)
+	var st core.ReuseState
+	if !fd.SetReuseState(&st) {
+		t.Fatal("FlexCore FrameDetector must report reuse-state support")
+	}
+
+	const nr, nt, k, s, sigma2 = 4, 3, 5, 2, 0.1
+	hs, ys := frameCase(t, 0xabc4, nr, nt, k, s)
+	first := runFrame(t, fd, hs, ys, sigma2)
+	if st.Valid() != true {
+		t.Fatal("ReuseState not based after the first frame")
+	}
+	again := runFrame(t, fd, hs, ys, sigma2) // identical H: all external hits
+	for ki := range hs {
+		for si := range ys[ki] {
+			for i := range first[ki][si] {
+				if first[ki][si][i] != again[ki][si][i] {
+					t.Fatalf("subcarrier %d symbol %d stream %d: reuse hit changed the decision", ki, si, i)
+				}
+			}
+		}
+	}
+	if pp := det.PreprocessStats(); pp.CacheHits != k {
+		t.Fatalf("CacheHits = %d after the re-sent frame, want %d", pp.CacheHits, k)
+	}
+
+	mmse := NewFrameDetector(detector.NewMMSE(cons))
+	if mmse.SetReuseState(&st) {
+		t.Fatal("MMSE FrameDetector must not report reuse-state support")
+	}
+}

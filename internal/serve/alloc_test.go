@@ -22,46 +22,71 @@ func TestServeHotLoopZeroAllocs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := NewServer(Config{
-		Shards: 1,
-		DetectorFactory: func() detector.Detector {
-			return core.New(cons, core.Options{NPE: e2eNPE, Workers: 1, Backend: envBackend(t)})
-		},
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer func() {
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		srv.Shutdown(ctx)
-	}()
-
-	var q DetectRequest
-	fillFrame(t, &q, 12, 1)
-	payload := q.AppendPayload(nil)
-
-	// Drive process directly: the shard worker sits idle on its queue,
-	// so the test owns the detector without racing it.
-	sh := srv.shards[0]
-	tk := srv.taskPool.Get().(*task)
-	hot := func() {
-		if err := tk.req.Decode(payload); err != nil {
-			t.Fatal(err)
+	// The reuse leg runs the same hot path with PathReuse enabled and a
+	// per-user ReuseState installed — the serve steady state for a
+	// static-channel user, where every subcarrier is a cross-frame
+	// cache hit.
+	for _, reuse := range []bool{false, true} {
+		name := "fresh"
+		if reuse {
+			name = "reuse"
 		}
-		tk.enq = time.Now()
-		srv.process(sh, tk)
+		t.Run(name, func(t *testing.T) {
+			srv, err := NewServer(Config{
+				Shards: 1,
+				DetectorFactory: func() detector.Detector {
+					opts := core.Options{NPE: e2eNPE, Workers: 1, Backend: envBackend(t)}
+					if reuse {
+						opts.PathReuse = true
+					}
+					return core.New(cons, opts)
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				srv.Shutdown(ctx)
+			}()
+
+			var q DetectRequest
+			fillFrame(t, &q, 12, 1)
+			payload := q.AppendPayload(nil)
+
+			// Drive process directly: the shard workers sit idle on their
+			// queue, so the test owns the detector without racing it.
+			w := srv.shards[0].workers[0]
+			tk := srv.taskPool.Get().(*task)
+			u := &userState{id: 12}
+			if reuse {
+				tk.user = u
+			}
+			hot := func() {
+				if err := tk.req.Decode(payload); err != nil {
+					t.Fatal(err)
+				}
+				tk.enq = time.Now()
+				srv.process(w, tk)
+			}
+			// Warm-up: first iterations grow the request arenas, the response
+			// and wire buffers and the detector's pooled storage to their
+			// high-water marks.
+			for i := 0; i < 3; i++ {
+				hot()
+			}
+			if allocs := testing.AllocsPerRun(50, hot); allocs != 0 {
+				t.Fatalf("serve hot loop allocates %.1f objects per frame, want 0", allocs)
+			}
+			if reuse {
+				if hits := w.det.(*core.FlexCore).PreprocessStats().CacheHits; hits == 0 {
+					t.Fatal("reuse leg never hit the per-user cross-frame cache")
+				}
+			}
+			srv.release(tk)
+		})
 	}
-	// Warm-up: first iterations grow the request arenas, the response
-	// and wire buffers and the detector's pooled storage to their
-	// high-water marks.
-	for i := 0; i < 3; i++ {
-		hot()
-	}
-	if allocs := testing.AllocsPerRun(50, hot); allocs != 0 {
-		t.Fatalf("serve hot loop allocates %.1f objects per frame, want 0", allocs)
-	}
-	srv.release(tk)
 }
 
 // TestReadFrameZeroAllocs gates the ingest side of the wire codec: a

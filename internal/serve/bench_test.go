@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"flexcore/internal/constellation"
+	"flexcore/internal/core"
+	"flexcore/internal/detector"
+)
+
+// BenchmarkServeProcess measures the in-process serve hot path for one
+// frame — decode the wire payload into a pooled task, detect every
+// subcarrier burst, frame the response — excluding socket I/O. The
+// reuse leg runs a static-channel user with per-user cross-frame reuse
+// installed (every subcarrier a cache hit); the fresh leg pays the full
+// §3.1.1 search per frame. Both must stay 0 allocs/op: this is the
+// benchmark twin of TestServeHotLoopZeroAllocs.
+func BenchmarkServeProcess(b *testing.B) {
+	cons, err := constellation.New(e2eQAM)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, reuse := range []bool{false, true} {
+		name := "fresh"
+		if reuse {
+			name = "reuse"
+		}
+		b.Run(name, func(b *testing.B) {
+			srv, err := NewServer(Config{
+				Shards: 1,
+				DetectorFactory: func() detector.Detector {
+					opts := core.Options{NPE: e2eNPE, Workers: 1, Backend: envBackend(b)}
+					if reuse {
+						opts.PathReuse = true
+					}
+					return core.New(cons, opts)
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				srv.Shutdown(ctx)
+			}()
+
+			var q DetectRequest
+			fillFrame(b, &q, 12, 1)
+			payload := q.AppendPayload(nil)
+			w := srv.shards[0].workers[0]
+			tk := srv.taskPool.Get().(*task)
+			if reuse {
+				tk.user = &userState{id: 12}
+			}
+			defer srv.release(tk)
+			hot := func() {
+				if err := tk.req.Decode(payload); err != nil {
+					b.Fatal(err)
+				}
+				tk.enq = time.Now()
+				srv.process(w, tk)
+			}
+			hot() // warm the arenas (and, on the reuse leg, base the state)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hot()
+			}
+			b.StopTimer()
+			if allocs := testing.AllocsPerRun(10, hot); allocs != 0 {
+				b.Fatalf("serve process path allocates %.1f objects per frame, want 0", allocs)
+			}
+		})
+	}
+}

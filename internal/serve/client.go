@@ -14,10 +14,21 @@ import (
 //
 // Send and Recv are individually thread-safe (a reader goroutine can
 // drain responses while another pipelines requests — the overload
-// tests do exactly that), but responses arrive in per-shard completion
+// tests do exactly that), but responses arrive in per-user completion
 // order, not send order: a pipelining caller must match them to
-// requests by FrameID. Do (one request, one response) assumes it is
-// the only outstanding exchange on the connection.
+// requests by FrameID (one user's responses do arrive in that user's
+// send order — the server's per-user FIFO contract). Do (one request,
+// one response) assumes it is the only outstanding exchange on the
+// connection.
+//
+// Latency vs. coalescing: Send flushes every request immediately —
+// lowest latency, one write per frame. A pipelining load generator
+// should Queue a burst and Flush once: requests coalesce into one
+// write, the server coalesces the responses the same way, and with
+// TCP_NODELAY set on both ends (Dial and Serve do) the burst still
+// crosses the wire without Nagle/delayed-ACK stalls. An unflushed
+// Queue is never sent — a caller that Queues and then waits on Recv
+// without flushing deadlocks itself.
 type Client struct {
 	rwc io.ReadWriteCloser
 
@@ -31,30 +42,64 @@ type Client struct {
 	rbuf []byte
 }
 
-// NewClient wraps an established connection.
+// NewClient wraps an established connection with the same explicitly
+// sized I/O buffers the server uses (connReadBuf/connWriteBuf).
 func NewClient(rwc io.ReadWriteCloser) *Client {
-	return &Client{rwc: rwc, bw: bufio.NewWriter(rwc), br: bufio.NewReader(rwc)}
+	return &Client{
+		rwc: rwc,
+		bw:  bufio.NewWriterSize(rwc, connWriteBuf),
+		br:  bufio.NewReaderSize(rwc, connReadBuf),
+	}
 }
 
-// Dial connects to a flexserve TCP address.
+// Dial connects to a flexserve TCP address with TCP_NODELAY set:
+// batching is the client's decision (Queue/Flush), not the kernel's.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
 	return NewClient(conn), nil
 }
 
-// Send encodes and writes one detection request.
+// Send encodes, writes and flushes one detection request — the
+// low-latency path: the request is on the wire when Send returns.
 func (c *Client) Send(req *DetectRequest) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	c.payload = req.AppendPayload(c.payload[:0])
-	c.wire = AppendFrame(c.wire[:0], MsgDetect, c.payload)
-	if _, err := c.bw.Write(c.wire); err != nil {
+	if err := c.queueLocked(req); err != nil {
 		return err
 	}
 	return c.bw.Flush()
+}
+
+// Queue encodes one detection request into the client's write buffer
+// without flushing — the coalescing path: a burst of Queue calls
+// followed by one Flush crosses the wire in a single write (the buffer
+// auto-flushes if the burst outgrows it). The request is NOT sent
+// until Flush (or a buffer-filling later Queue); see the latency note
+// on Client.
+func (c *Client) Queue(req *DetectRequest) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.queueLocked(req)
+}
+
+// Flush writes out every queued request.
+func (c *Client) Flush() error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.bw.Flush()
+}
+
+func (c *Client) queueLocked(req *DetectRequest) error {
+	c.payload = req.AppendPayload(c.payload[:0])
+	c.wire = AppendFrame(c.wire[:0], MsgDetect, c.payload)
+	_, err := c.bw.Write(c.wire)
+	return err
 }
 
 // Recv reads the next response into resp (reusing its storage).

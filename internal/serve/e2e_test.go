@@ -60,11 +60,22 @@ func fillFrame(t testing.TB, q *DetectRequest, userID, frameID uint64) {
 	}
 }
 
+// offlineCache memoizes offlineDecisions per request payload: the e2e
+// matrix re-checks the same deterministic (userID, frameID) frames
+// across many server configurations, and the reference decisions are a
+// pure function of the request bytes (backend and NPE are fixed per
+// process).
+var offlineCache sync.Map // string(payload) -> []int
+
 // offlineDecisions runs the reference path — a fresh single-worker
 // detector, scalar Prepare+Detect looped over every subcarrier and
 // OFDM symbol — and returns the flat (k, s, stream)-major decisions.
 func offlineDecisions(t testing.TB, cons *constellation.Constellation, q *DetectRequest) []int {
 	t.Helper()
+	key := string(q.AppendPayload(nil))
+	if got, ok := offlineCache.Load(key); ok {
+		return got.([]int)
+	}
 	det := core.New(cons, core.Options{NPE: e2eNPE, Workers: 1, Backend: envBackend(t)})
 	defer det.Close()
 	out := make([]int, 0, q.Subcarriers*q.Symbols*q.Nt)
@@ -76,6 +87,7 @@ func offlineDecisions(t testing.TB, cons *constellation.Constellation, q *Detect
 			out = append(out, det.Detect(y)...)
 		}
 	}
+	offlineCache.Store(key, out)
 	return out
 }
 
@@ -118,11 +130,18 @@ func TestE2EServedEqualsOffline(t *testing.T) {
 	backend := envBackend(t)
 	const clients, framesPerClient = 6, 4
 	for _, shards := range []int{1, 2, 8} {
-		for _, workers := range []int{1, 3} {
-			t.Run(fmt.Sprintf("shards=%d,workers=%d", shards, workers), func(t *testing.T) {
+		for _, wps := range []int{1, 4} {
+			// Cover in-detector parallelism on the configs without shard
+			// worker pools (the two multiply the same worker budget).
+			workers := 1
+			if wps == 1 {
+				workers = 3
+			}
+			t.Run(fmt.Sprintf("shards=%d,workersPerShard=%d,detWorkers=%d", shards, wps, workers), func(t *testing.T) {
 				srv, err := NewServer(Config{
-					Shards:     shards,
-					QueueDepth: 2 * clients * framesPerClient, // overload-free: this test pins correctness, not backpressure
+					Shards:          shards,
+					WorkersPerShard: wps,
+					QueueDepth:      2 * clients * framesPerClient, // overload-free: this test pins correctness, not backpressure
 					DetectorFactory: func() detector.Detector {
 						return core.New(cons, core.Options{NPE: e2eNPE, Workers: workers, Backend: backend})
 					},
@@ -304,7 +323,8 @@ func TestMetricsSnapshotShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	srv, err := NewServer(Config{
-		Shards: 3,
+		Shards:          3,
+		WorkersPerShard: 2,
 		DetectorFactory: func() detector.Detector {
 			return core.New(cons, core.Options{NPE: e2eNPE, Backend: envBackend(t)})
 		},
@@ -323,6 +343,32 @@ func TestMetricsSnapshotShape(t *testing.T) {
 	snap := srv.Metrics()
 	if snap.Shards != 3 || len(snap.QueueDepths) != 3 {
 		t.Fatalf("shards %d, queue depths %v", snap.Shards, snap.QueueDepths)
+	}
+	if snap.WorkersPerShard != 2 {
+		t.Fatalf("workers_per_shard %d, want 2", snap.WorkersPerShard)
+	}
+	if len(snap.ShardStats) != 3 {
+		t.Fatalf("shard_stats has %d entries, want 3", len(snap.ShardStats))
+	}
+	var tracked, hwm int
+	var hits, misses int64
+	for _, st := range snap.ShardStats {
+		if st.QueueDepth != 0 {
+			t.Fatalf("queue depth %d after completion, want 0", st.QueueDepth)
+		}
+		tracked += st.TrackedUsers
+		hwm += st.QueueHighWatermark
+		hits += st.ReuseHits
+		misses += st.ReuseMisses
+	}
+	if tracked != 1 {
+		t.Fatalf("tracked users %d across shards, want 1", tracked)
+	}
+	if hwm != 1 {
+		t.Fatalf("queue high-watermark sum %d, want 1 (one frame was admitted)", hwm)
+	}
+	if hits != 0 || misses != 0 {
+		t.Fatalf("reuse counters %d/%d with PathReuse off, want 0/0", hits, misses)
 	}
 	if snap.Completed != 1 || snap.Accepted != 1 {
 		t.Fatalf("accepted %d completed %d, want 1/1", snap.Accepted, snap.Completed)

@@ -60,14 +60,37 @@ type LatencyBucket struct {
 	Count       int64 `json:"count"`
 }
 
+// ShardStats is one shard's point-in-time gauges in a Snapshot.
+type ShardStats struct {
+	// QueueDepth is the shard's admitted-but-not-yet-processing backlog
+	// right now; QueueHighWatermark is its maximum since start — the
+	// capacity-planning signal QueueDepth alone misses between scrapes.
+	QueueDepth         int `json:"queue_depth"`
+	QueueHighWatermark int `json:"queue_high_watermark"`
+	// TrackedUsers is the number of per-user sequencing/reuse states the
+	// shard currently holds (bounded by Config.UserStateCap).
+	TrackedUsers int `json:"tracked_users"`
+	// ReuseHits/ReuseMisses aggregate the Prepare path-reuse cache
+	// counters over the shard's workers: hits are subcarriers whose
+	// §3.1.1 candidate-position search was skipped via the coherence
+	// cache (within-frame or per-user cross-frame), misses are fresh
+	// searches with reuse enabled. Both stay 0 when the detector factory
+	// leaves PathReuse off.
+	ReuseHits   int64 `json:"reuse_hits"`
+	ReuseMisses int64 `json:"reuse_misses"`
+}
+
 // Snapshot is a point-in-time view of the server's metrics — the JSON
 // document served by the metrics endpoint.
 type Snapshot struct {
-	UptimeSeconds float64 `json:"uptime_seconds"`
-	Shards        int     `json:"shards"`
-	QueueCapacity int     `json:"queue_capacity"`
-	// QueueDepths is the instantaneous admission-queue depth per shard.
-	QueueDepths []int `json:"queue_depths"`
+	UptimeSeconds   float64 `json:"uptime_seconds"`
+	Shards          int     `json:"shards"`
+	WorkersPerShard int     `json:"workers_per_shard"`
+	QueueCapacity   int     `json:"queue_capacity"`
+	// QueueDepths is the instantaneous admission-queue depth per shard
+	// (ShardStats carries the rest of the per-shard gauges).
+	QueueDepths []int        `json:"queue_depths"`
+	ShardStats  []ShardStats `json:"shard_stats"`
 
 	Accepted  int64 `json:"accepted"`
 	Completed int64 `json:"completed"`
@@ -112,8 +135,10 @@ func (s *Server) Metrics() Snapshot {
 	snap := Snapshot{
 		UptimeSeconds:    time.Since(s.met.start).Seconds(), //lint:ignore determinism wall-clock observability only — detection results never depend on it
 		Shards:           len(s.shards),
+		WorkersPerShard:  s.cfg.WorkersPerShard,
 		QueueCapacity:    s.cfg.QueueDepth,
 		QueueDepths:      make([]int, len(s.shards)),
+		ShardStats:       make([]ShardStats, len(s.shards)),
 		Accepted:         s.met.accepted.Load(),
 		Completed:        s.met.completed.Load(),
 		RejectedOverload: s.met.rejectedOverload.Load(),
@@ -130,13 +155,25 @@ func (s *Server) Metrics() Snapshot {
 	var activeSum float64
 	var activeN int64
 	for i, sh := range s.shards {
-		snap.QueueDepths[i] = len(sh.queue)
 		sh.mu.Lock()
-		snap.OpCount.Add(sh.ops)
-		snap.Preprocess.Add(sh.pre)
-		activeSum += sh.activeSum
-		activeN += sh.activeN
+		st := ShardStats{
+			QueueDepth:         sh.waiting,
+			QueueHighWatermark: sh.waitHWM,
+			TrackedUsers:       len(sh.users),
+		}
 		sh.mu.Unlock()
+		for _, w := range sh.workers {
+			w.mu.Lock()
+			snap.OpCount.Add(w.ops)
+			snap.Preprocess.Add(w.pre)
+			st.ReuseHits += w.pre.CacheHits
+			st.ReuseMisses += w.pre.CacheMisses
+			activeSum += w.activeSum
+			activeN += w.activeN
+			w.mu.Unlock()
+		}
+		snap.QueueDepths[i] = st.QueueDepth
+		snap.ShardStats[i] = st
 	}
 	if activeN > 0 {
 		snap.AvgActivePEs = activeSum / float64(activeN)

@@ -363,3 +363,35 @@ func TestInProcessAfterShutdown(t *testing.T) {
 		}
 	}
 }
+
+// TestShutdownOpenConnNotBadFrame: a connection left open across
+// Shutdown is unblocked by the server's own force-close — the resulting
+// read error must not be counted as a peer framing fault. (Regression:
+// the reader raced Shutdown's force-close even after a clean client
+// close, inflating BadFrames by one per connection.)
+func TestShutdownOpenConnNotBadFrame(t *testing.T) {
+	slow := newSlowDetector()
+	close(slow.gate)
+	srv, err := NewServer(Config{Shards: 1, DetectorFactory: func() detector.Detector { return slow }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := srv.InProcess()
+	defer cl.Close()
+	var q DetectRequest
+	tinyFrame(t, &q, 1)
+	var resp DetectResponse
+	if err := cl.Do(&q, &resp); err != nil {
+		t.Fatal(err)
+	}
+	// The client stays open: the server's conn reader is parked in
+	// ReadFrame when Shutdown force-closes it.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if snap := srv.Metrics(); snap.BadFrames != 0 {
+		t.Fatalf("shutdown force-close counted %d bad frames, want 0", snap.BadFrames)
+	}
+}

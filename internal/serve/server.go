@@ -17,19 +17,36 @@ import (
 
 // Config configures a Server.
 type Config struct {
-	// Shards is the number of independent detection shards; each shard
-	// owns one detector (its FramePreparer + FlexCore set), one bounded
-	// admission queue and one worker goroutine, so frames of one user
-	// are served in arrival order. Default 1.
+	// Shards is the number of independent detection shards. Consistent
+	// user→shard routing (shardIndex) pins every frame of one user to
+	// one shard, so per-user state — FIFO sequencing and the Prepare
+	// reuse cache — never crosses shards. Default 1.
 	Shards int
-	// QueueDepth bounds each shard's admission queue. A frame arriving
-	// at a full queue is rejected immediately with StatusOverloaded —
-	// explicit backpressure, bounded memory. Default 64.
+	// WorkersPerShard is the number of worker goroutines per shard, each
+	// owning its own detector/FrameDetector from the factory, so a
+	// shard's throughput scales with cores. Frames of one user are still
+	// dispatched and completed in arrival order: a user's next frame is
+	// handed to a worker only after its previous frame has responded
+	// (user-keyed sequencing on the shared shard queue), which also
+	// serialises access to the user's cross-frame reuse state. Default 1.
+	WorkersPerShard int
+	// QueueDepth bounds each shard's admitted-but-not-yet-processing
+	// backlog. A frame arriving at a full shard is rejected immediately
+	// with StatusOverloaded — explicit backpressure, bounded memory.
+	// Default 64.
 	QueueDepth int
-	// DetectorFactory builds one detector per shard (detectors are
-	// stateful across Prepare/Detect, so shards cannot share one).
+	// UserStateCap bounds each shard's table of per-user states (FIFO
+	// sequencing + cross-frame Prepare-reuse bases). Past the cap the
+	// oldest idle user is evicted and its reuse bases reset; users with
+	// frames in flight are never evicted, so the table can transiently
+	// exceed the cap by the in-flight user count. Default 1024.
+	UserStateCap int
+	// DetectorFactory builds one detector per worker (detectors are
+	// stateful across Prepare/Detect, so workers cannot share one).
 	// Required. Factory-created detectors are closed on Shutdown when
-	// they expose a Close method.
+	// they expose a Close method. With core.Options.PathReuse enabled,
+	// the server keys the coherence cache per user across frames; at
+	// ReuseThreshold 0 this is provably output-neutral (DESIGN.md §13).
 	DetectorFactory func() detector.Detector
 }
 
@@ -38,8 +55,14 @@ func (c Config) withDefaults() Config {
 	if c.Shards <= 0 {
 		c.Shards = 1
 	}
+	if c.WorkersPerShard <= 0 {
+		c.WorkersPerShard = 1
+	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
+	}
+	if c.UserStateCap <= 0 {
+		c.UserStateCap = 1024
 	}
 	return c
 }
@@ -51,6 +74,7 @@ func (c Config) withDefaults() Config {
 type task struct {
 	req     DetectRequest
 	c       *serverConn
+	user    *userState
 	enq     time.Time // admit timestamp (latency metric only)
 	payload []byte    // response payload scratch
 	wire    []byte    // framed response scratch
@@ -62,12 +86,52 @@ type task struct {
 	emit  func(k int, decisions [][]int)
 }
 
-// shard is one detection lane: a bounded admission queue drained by a
-// single worker goroutine owning one detector.
+// userState is one user's serve-side state on its home shard: the FIFO
+// sequencing slot (busy + pending backlog) and the cross-frame Prepare
+// reuse bases. It is accessed under the shard mutex, except reuse,
+// which is touched only by the worker currently processing the user's
+// frame — the busy flag guarantees there is at most one, and the
+// mutex/channel handoff between frames orders the accesses.
+type userState struct {
+	id      uint64
+	busy    bool    // a worker is processing (or holds) this user's frame
+	pending []*task // admitted frames waiting for the one in flight
+	reuse   core.ReuseState
+}
+
+// shard is one detection lane: a user-sequenced admission stage feeding
+// a runnable queue drained by WorkersPerShard workers.
 type shard struct {
-	queue chan *task
-	det   detector.Detector
-	fd    *phy.FrameDetector
+	// runnable carries the head frame of each user's chain to the
+	// workers. Capacity QueueDepth: every queued task is counted in
+	// waiting, and admission caps waiting at QueueDepth, so sends under
+	// the admission path never block.
+	runnable chan *task
+	workers  []*shardWorker
+
+	// mu guards the sequencing state below.
+	mu      sync.Mutex
+	users   map[uint64]*userState
+	order   []uint64     // user insertion order (FIFO eviction scan)
+	free    []*userState // evicted states recycled for new users
+	waiting int          // admitted frames not yet processing
+	waitHWM int          // high-watermark of waiting since start
+}
+
+// shardWorker is one worker goroutine's state: its own detector and
+// FrameDetector (detectors are stateful), the write-coalescing dirty
+// list, and the op counters it publishes after every frame.
+type shardWorker struct {
+	det     detector.Detector
+	fd      *phy.FrameDetector
+	reuseOK bool // detector supports external reuse keying
+
+	// dirty lists the connections holding buffered responses this worker
+	// has not flushed yet. Flushed before the worker blocks on an empty
+	// runnable queue — coalescing consecutive responses per connection
+	// into one write while the shard is busy, without ever parking a
+	// response behind an idle queue.
+	dirty []*serverConn
 
 	// mu publishes the detector's op counters to Metrics (the worker
 	// writes them after every frame; Snapshot reads them).
@@ -133,15 +197,20 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	s.shards = make([]*shard, cfg.Shards)
 	for i := range s.shards {
-		det := cfg.DetectorFactory()
 		sh := &shard{
-			queue: make(chan *task, cfg.QueueDepth),
-			det:   det,
-			fd:    phy.NewFrameDetector(det),
+			runnable: make(chan *task, cfg.QueueDepth),
+			workers:  make([]*shardWorker, cfg.WorkersPerShard),
+			users:    make(map[uint64]*userState),
+		}
+		for j := range sh.workers {
+			det := cfg.DetectorFactory()
+			w := &shardWorker{det: det, fd: phy.NewFrameDetector(det)}
+			w.reuseOK = w.fd.SetReuseState(nil)
+			sh.workers[j] = w
+			s.workerWG.Add(1)
+			go s.runWorker(sh, w)
 		}
 		s.shards[i] = sh
-		s.workerWG.Add(1)
-		go s.runShard(sh)
 	}
 	return s, nil
 }
@@ -160,63 +229,172 @@ func shardIndex(userID uint64, shards int) int {
 	return int(z % uint64(shards))
 }
 
-// runShard drains one shard's admission queue until it is closed by
-// Shutdown, then releases the detector.
-func (s *Server) runShard(sh *shard) {
+// runWorker drains one shard's runnable queue until it is closed by
+// Shutdown, then flushes its buffered responses and releases its
+// detector. Each runnable task is the head of one user's chain: after
+// responding, the worker takes the user's next pending frame directly
+// (completeUser), so one user's frames are processed back-to-back by
+// one worker in arrival order — per-user FIFO, serialized reuse state —
+// while different users' chains run on all workers in parallel.
+func (s *Server) runWorker(sh *shard, w *shardWorker) {
 	defer s.workerWG.Done()
-	for t := range sh.queue {
-		s.process(sh, t)
-		if err := t.c.write(t.wire); err != nil {
-			s.met.writeErrors.Add(1)
+	for {
+		t := s.nextTask(sh, w)
+		if t == nil {
+			break
 		}
-		s.release(t)
+		for t != nil {
+			s.begin(sh)
+			s.process(w, t)
+			s.buffer(w, t)
+			t = s.completeUser(sh, t)
+		}
 	}
-	if c, ok := sh.det.(interface{ Close() }); ok {
+	s.flushDirty(w)
+	if c, ok := w.det.(interface{ Close() }); ok {
 		c.Close()
 	}
 }
 
-// process runs the ingest→detect→respond hot path for one admitted
-// task: detect every subcarrier burst through the shard's
-// FrameDetector, streaming the decisions straight into the response
-// payload, frame it, publish the shard's op counters and record the
-// latency. Everything it touches is task- or shard-owned and reused —
-// the AllocsPerRun gate (alloc_test.go) pins this path at 0 allocs/op
-// in steady state.
+// nextTask returns the next runnable chain head, or nil once the queue
+// is closed and drained. Before blocking on an empty queue it flushes
+// the worker's buffered responses — the coalescing contract: responses
+// may ride in one write with their successors while work is queued, but
+// never wait behind an idle queue.
+func (s *Server) nextTask(sh *shard, w *shardWorker) *task {
+	select {
+	case t, ok := <-sh.runnable:
+		if !ok {
+			return nil
+		}
+		return t
+	default:
+	}
+	s.flushDirty(w)
+	t, ok := <-sh.runnable
+	if !ok {
+		return nil
+	}
+	return t
+}
+
+// begin moves one frame from the admitted backlog into processing.
 //
 //flexcore:noalloc
-func (s *Server) process(sh *shard, t *task) {
+func (s *Server) begin(sh *shard) {
+	sh.mu.Lock()
+	sh.waiting--
+	sh.mu.Unlock()
+}
+
+// process runs the ingest→detect→respond hot path for one admitted
+// task: install the user's cross-frame reuse bases, detect every
+// subcarrier burst through the worker's FrameDetector, streaming the
+// decisions straight into the response payload, frame it, publish the
+// worker's op counters and record the latency. Everything it touches is
+// task-, user- or worker-owned and reused — the AllocsPerRun gate
+// (alloc_test.go) pins this path at 0 allocs/op in steady state.
+//
+//flexcore:noalloc
+func (s *Server) process(w *shardWorker, t *task) {
 	q := &t.req
+	if w.reuseOK && t.user != nil {
+		w.fd.SetReuseState(&t.user.reuse)
+	}
 	t.payload = appendRespHeader(t.payload[:0], q.FrameID, StatusOK, q.Nt, q.Subcarriers, q.Symbols)
-	if err := sh.fd.DetectFrame(q.H(), q.Sigma2, t.burst, t.emit); err != nil {
+	if err := w.fd.DetectFrame(q.H(), q.Sigma2, t.burst, t.emit); err != nil {
 		// Geometry was validated at decode time, so detector errors are
 		// unexpected — answer them as an explicit rejection, never a
 		// silent drop.
 		t.payload = appendRespHeader(t.payload[:0], q.FrameID, StatusInvalid, 0, 0, 0)
 		s.met.rejectedInvalid.Add(1)
 	}
+	if w.reuseOK {
+		w.fd.SetReuseState(nil)
+	}
 	t.wire = AppendFrame(t.wire[:0], MsgResult, t.payload)
-	s.publish(sh)
+	s.publish(w)
 	s.met.observe(time.Since(t.enq)) //lint:ignore determinism wall-clock latency metric only — decisions are already encoded at this point
 	s.met.completed.Add(1)
 }
 
-// publish copies the shard detector's cumulative counters under the
-// shard's metrics lock.
+// buffer queues t's framed response on its connection's buffered writer
+// and marks the connection dirty for the next flush. The bufio writer
+// auto-flushes when full, so a backlog burst still drains with bounded
+// buffering; write errors surface here (sticky) or at flush.
 //
 //flexcore:noalloc
-func (s *Server) publish(sh *shard) {
-	ops := sh.det.OpCount()
+func (s *Server) buffer(w *shardWorker, t *task) {
+	c := t.c
+	c.mu.Lock()
+	_, err := c.bw.Write(t.wire)
+	c.mu.Unlock()
+	if err != nil {
+		s.met.writeErrors.Add(1)
+		return
+	}
+	w.dirty = append(w.dirty, c) //lint:ignore noalloc amortised: the dirty list reuses its high-water capacity across flush cycles
+}
+
+// flushDirty flushes every connection this worker buffered responses on
+// since the last flush. Duplicate entries are harmless: flushing an
+// empty bufio writer is a no-op.
+func (s *Server) flushDirty(w *shardWorker) {
+	for i, c := range w.dirty {
+		c.mu.Lock()
+		err := c.bw.Flush()
+		c.mu.Unlock()
+		if err != nil {
+			s.met.writeErrors.Add(1)
+		}
+		w.dirty[i] = nil
+	}
+	w.dirty = w.dirty[:0]
+}
+
+// completeUser finishes t's slot in its user's FIFO chain: it releases
+// the task and returns the user's next pending frame for this worker to
+// process, or marks the user idle. Handing the successor to the same
+// worker (never back through runnable) is what makes per-user ordering
+// a structural property: at most one worker ever holds a given user's
+// frame, and it processes them in arrival order.
+//
+//flexcore:noalloc
+func (s *Server) completeUser(sh *shard, t *task) *task {
+	u := t.user
+	s.release(t)
+	if u == nil {
+		return nil
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if n := len(u.pending); n > 0 {
+		next := u.pending[0]
+		copy(u.pending, u.pending[1:])
+		u.pending[n-1] = nil
+		u.pending = u.pending[:n-1]
+		return next
+	}
+	u.busy = false
+	return nil
+}
+
+// publish copies the worker detector's cumulative counters under the
+// worker's metrics lock.
+//
+//flexcore:noalloc
+func (s *Server) publish(w *shardWorker) {
+	ops := w.det.OpCount()
 	var pre core.PreprocessStats
-	if pr, ok := sh.det.(preprocessReporter); ok {
+	if pr, ok := w.det.(preprocessReporter); ok {
 		pre = pr.PreprocessStats()
 	}
-	activeSum, activeN := sh.fd.ActivePEs()
-	sh.mu.Lock()
-	sh.ops = ops
-	sh.pre = pre
-	sh.activeSum, sh.activeN = activeSum, activeN
-	sh.mu.Unlock()
+	activeSum, activeN := w.fd.ActivePEs()
+	w.mu.Lock()
+	w.ops = ops
+	w.pre = pre
+	w.activeSum, w.activeN = activeSum, activeN
+	w.mu.Unlock()
 }
 
 // release returns a task to the pool.
@@ -224,13 +402,65 @@ func (s *Server) publish(sh *shard) {
 //flexcore:noalloc
 func (s *Server) release(t *task) {
 	t.c = nil
+	t.user = nil
 	s.taskPool.Put(t) //lint:ignore noalloc t is already a pointer — Put's any parameter boxes no value
 }
 
-// admit routes a decoded request to its shard's bounded queue, or
-// rejects it explicitly: StatusDraining once shutdown has begun,
-// StatusOverloaded when the queue is full. Admission never blocks —
-// backpressure is a response code, not a stalled connection.
+// userFor returns the shard's state for user id, creating (and, at the
+// cap, evicting the oldest idle user to recycle) as needed. Called
+// under sh.mu; the new-user path may allocate, which is why it sits
+// outside the noalloc-annotated admit — in steady state the user table
+// is warm and this is one map lookup.
+func (sh *shard) userFor(id uint64, capacity int) *userState {
+	if u, ok := sh.users[id]; ok {
+		return u
+	}
+	if len(sh.users) >= capacity {
+		sh.evictIdle()
+	}
+	var u *userState
+	if n := len(sh.free); n > 0 {
+		u = sh.free[n-1]
+		sh.free[n-1] = nil
+		sh.free = sh.free[:n-1]
+	} else {
+		u = &userState{}
+	}
+	u.id = id
+	u.busy = false
+	u.pending = u.pending[:0]
+	sh.users[id] = u
+	sh.order = append(sh.order, id)
+	return u
+}
+
+// evictIdle drops the longest-tracked user with no frames in flight,
+// resetting its reuse bases and recycling its storage. The scan walks
+// the insertion-order slice (never the map: iteration order must not
+// influence behaviour); if every tracked user is busy nothing is
+// evicted and the table transiently overshoots the cap.
+func (sh *shard) evictIdle() {
+	for i, id := range sh.order {
+		u := sh.users[id]
+		if u.busy {
+			continue
+		}
+		delete(sh.users, id)
+		u.reuse.Reset()
+		sh.free = append(sh.free, u)
+		copy(sh.order[i:], sh.order[i+1:])
+		sh.order = sh.order[:len(sh.order)-1]
+		return
+	}
+}
+
+// admit routes a decoded request into its shard's user-sequenced
+// backlog, or rejects it explicitly: StatusDraining once shutdown has
+// begun, StatusOverloaded when the shard's admitted backlog is full.
+// Admission never blocks — backpressure is a response code, not a
+// stalled connection. If the user is idle the frame becomes a runnable
+// chain head; if a worker already holds the user's previous frame it
+// joins the user's pending FIFO instead, preserving arrival order.
 //
 //flexcore:noalloc
 func (s *Server) admit(t *task) {
@@ -243,15 +473,44 @@ func (s *Server) admit(t *task) {
 		return
 	}
 	sh := s.shards[shardIndex(t.req.UserID, len(s.shards))]
-	select {
-	case sh.queue <- t:
-		s.met.accepted.Add(1)
-	default:
+	sh.mu.Lock()
+	if sh.waiting >= s.cfg.QueueDepth {
+		sh.mu.Unlock()
 		s.met.rejectedOverload.Add(1)
 		t.c.reject(s, t.req.FrameID, StatusOverloaded)
 		s.release(t)
+		return
 	}
+	sh.waiting++
+	if sh.waiting > sh.waitHWM {
+		sh.waitHWM = sh.waiting
+	}
+	u := sh.userFor(t.req.UserID, s.cfg.UserStateCap)
+	t.user = u
+	if u.busy {
+		u.pending = append(u.pending, t) //lint:ignore noalloc amortised: the pending arena reuses its high-water capacity across a user's bursts
+		sh.mu.Unlock()
+		s.met.accepted.Add(1)
+		return
+	}
+	u.busy = true
+	sh.mu.Unlock()
+	s.met.accepted.Add(1)
+	// Never blocks: every task in runnable is counted in waiting, and
+	// waiting ≤ QueueDepth = cap(runnable) was just enforced above.
+	sh.runnable <- t
 }
+
+// Connection I/O buffer sizes. The write buffer is sized for a burst of
+// small responses (the dominant shape: a 5×4, 6-subcarrier frame's
+// response is ~160 bytes) so coalesced flushing turns a backlog drain
+// into a handful of syscalls; larger responses auto-flush through bufio
+// in connWriteBuf-sized writes, which keeps per-connection memory
+// bounded under load.
+const (
+	connReadBuf  = 64 << 10
+	connWriteBuf = 64 << 10
+)
 
 // serverConn is one client connection: a buffered reader owned by the
 // connection goroutine and a mutex-serialised buffered writer shared
@@ -268,8 +527,9 @@ type serverConn struct {
 	rejWire    []byte
 }
 
-// write frames one response onto the connection (serialised: shard
-// workers and the connection goroutine share the writer).
+// write frames one response onto the connection and flushes immediately
+// (the rejection path: a rejected frame must never wait for detection
+// work to coalesce with).
 func (c *serverConn) write(frame []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -298,13 +558,18 @@ func (s *Server) handleConn(rwc io.ReadWriteCloser) {
 	defer s.connWG.Done()
 	defer rwc.Close()
 	defer s.untrackConn(rwc)
-	c := &serverConn{rwc: rwc, br: bufio.NewReader(rwc), bw: bufio.NewWriter(rwc)}
+	c := &serverConn{rwc: rwc, br: bufio.NewReaderSize(rwc, connReadBuf), bw: bufio.NewWriterSize(rwc, connWriteBuf)}
 	var buf []byte
 	for {
 		typ, payload, nbuf, err := ReadFrame(c.br, buf)
 		buf = nbuf
 		if err != nil {
-			if err != io.EOF {
+			// A non-EOF error after Shutdown's force-close phase is the
+			// server unblocking its own reader (the peer's FIN may still
+			// be in flight when the fd closes locally), not a peer
+			// framing fault — only count bad frames while the connection
+			// table is live.
+			if err != io.EOF && !s.forceClosed() {
 				s.met.badFrames.Add(1)
 			}
 			return
@@ -313,7 +578,7 @@ func (s *Server) handleConn(rwc io.ReadWriteCloser) {
 			s.met.badFrames.Add(1)
 			return
 		}
-		t := s.taskPool.Get().(*task) //lint:ignore pooldiscipline ownership transfers through the shard queue — the shard worker (or the rejection path in admit) releases the task after responding
+		t := s.taskPool.Get().(*task) //lint:ignore pooldiscipline ownership transfers through the shard's sequencing state — the shard worker (or the rejection path in admit) releases the task after responding
 		if err := t.req.Decode(payload); err != nil {
 			s.met.rejectedInvalid.Add(1)
 			c.reject(s, peekFrameID(payload), StatusInvalid)
@@ -339,6 +604,15 @@ func (s *Server) trackConn(c io.Closer) bool {
 }
 
 // untrackConn removes a closed connection.
+// forceClosed reports whether Shutdown has entered its force-close
+// phase (the connection table is retired before the conns are closed,
+// so any read error surfacing afterwards is server-initiated).
+func (s *Server) forceClosed() bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	return s.conns == nil
+}
+
 func (s *Server) untrackConn(c io.Closer) {
 	s.connMu.Lock()
 	delete(s.conns, c)
@@ -360,8 +634,12 @@ func (s *Server) startConn(rwc io.ReadWriteCloser) bool {
 	return true
 }
 
-// Serve accepts connections on lis until Shutdown closes it. It
-// returns nil after a graceful shutdown, or the first accept error.
+// Serve accepts connections on lis until Shutdown closes it. TCP
+// connections get TCP_NODELAY set explicitly: response batching is the
+// server's decision (buffered writers + coalesced flushing), not the
+// kernel's — Nagle would add delayed-ACK latency on top of flushes the
+// server already sized. It returns nil after a graceful shutdown, or
+// the first accept error.
 func (s *Server) Serve(lis net.Listener) error {
 	s.connMu.Lock()
 	s.lis = lis
@@ -373,6 +651,9 @@ func (s *Server) Serve(lis net.Listener) error {
 				return nil
 			}
 			return err
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
 		}
 		s.startConn(conn)
 	}
@@ -411,7 +692,7 @@ func (s *Server) Draining() bool {
 // Shutdown gracefully drains the server: it stops accepting
 // connections and requests (new frames are rejected with
 // StatusDraining), lets every admitted frame detect and respond, then
-// closes the remaining connections and the shard detectors. It
+// closes the remaining connections and the worker detectors. It
 // returns nil on a complete drain, or ctx's error if the context
 // expires first (workers keep draining in the background; connections
 // are then closed on the spot so readers unblock).
@@ -429,9 +710,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining = true
 	s.drainMu.Unlock()
 	// No admitter can be mid-enqueue past this point: close the queues
-	// so the workers drain the backlog and exit.
+	// so the workers drain the backlog — every admitted task is either
+	// in runnable or in a busy user's pending chain, and workers drain
+	// whole chains before taking the next runnable head — and exit.
 	for _, sh := range s.shards {
-		close(sh.queue)
+		close(sh.runnable)
 	}
 
 	done := make(chan struct{})

@@ -1,19 +1,28 @@
 // Package serve is the long-running detection service of the FlexCore
-// reproduction (DESIGN.md §12): a streaming frame-ingest interface
+// reproduction (DESIGN.md §12–13): a streaming frame-ingest interface
 // (length-prefixed binary frames over any io.ReadWriteCloser — TCP in
 // production, an in-memory pipe in tests), consistent user→shard
-// routing onto per-shard detector pools, bounded admission queues with
+// routing onto per-shard worker pools with per-user FIFO sequencing
+// and per-user cross-frame Prepare reuse, bounded admission with
 // explicit overload rejection (work is refused with a status code,
-// never silently dropped), graceful drain on shutdown, and a metrics
-// surface exposing latency histograms, throughput, queue depths, drop
-// counts and the aggregated OpCount/PreprocessStats of every shard.
+// never silently dropped), coalesced response writes, graceful drain
+// on shutdown, and a metrics surface exposing latency histograms,
+// throughput, per-shard queue depths/high-watermarks and reuse
+// counters, and the aggregated OpCount/PreprocessStats of every
+// worker.
 //
 // The serving layer adds no arithmetic of its own: detection results
 // are produced by the same two-phase Prepare/Detect pipeline as the
 // offline path, so a served frame's decisions are bit-identical to
 // looping Prepare+Detect over its subcarriers — for any shard count,
-// any detector worker count and either kernel backend. The e2e suite
-// (e2e_test.go) enforces exactly that contract.
+// any workers-per-shard count, any detector worker count and either
+// kernel backend (reuse is held at ReuseThreshold 0, where hits
+// require a bit-identical (R, σ²) and are provably output-neutral).
+// The e2e and ordering suites (e2e_test.go, order_test.go) enforce
+// exactly that contract, plus per-user FIFO completion. The wire
+// format itself is unchanged from PR 7: batching happens at the
+// bufio/flush layer on both ends, so frames simply arrive
+// back-to-back in one segment — nothing for the codec to know.
 package serve
 
 import (
