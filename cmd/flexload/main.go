@@ -12,10 +12,18 @@
 // self-contained benchmark mode that produced BENCH_PR8.json) and
 // includes the server's final metrics snapshot in the -json output.
 //
+// Frames can carry a staleness budget (-deadline, shed server-side as
+// StatusExpired once stale), overloaded rejections can be retried
+// closed-loop (-retries), and every connection can run under lossless
+// fault injection (-fault partial,short,stutter) to exercise the
+// chaos-hardened wire path under load. The report and -json break out
+// expired/degraded/retried frames and per-status latency percentiles.
+//
 // Example:
 //
 //	flexload -spawn -shards 2 -shardworkers 4 -reuse 0 -users 16 -frames 200 -json
 //	flexload -addr :7600 -conns 8 -users 32 -rate 5000 -duration 10s
+//	flexload -addr :7600 -deadline 5ms -retries 2 -fault partial,stutter
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"net"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -62,26 +71,45 @@ type config struct {
 	duration  time.Duration
 	coherence int
 	seed      uint64
+	deadline  time.Duration
+	retries   int
+	fault     string
 
 	nr, nt, k, s int
 	sigma2       float64
 }
 
+// latSummary is one response class's latency distribution.
+type latSummary struct {
+	Count  int64   `json:"count"`
+	MeanUs float64 `json:"mean_micros"`
+	P50Us  float64 `json:"p50_micros"`
+	P95Us  float64 `json:"p95_micros"`
+	P99Us  float64 `json:"p99_micros"`
+}
+
 // result is the -json document: the workload's client-side view plus,
 // in spawn mode, the server's own snapshot (reuse hits, queue
-// high-watermarks, …).
+// high-watermarks, …). FramesOK counts every served frame including
+// degraded ones; FramesDegraded breaks out the responses the pressure
+// ladder served at a reduced N_PE, FramesExpired the StatusExpired
+// sheds, FramesRetried the overloaded re-submissions (closed loop).
 type result struct {
-	Config         map[string]any  `json:"config"`
-	ElapsedSeconds float64         `json:"elapsed_seconds"`
-	FramesSent     int64           `json:"frames_sent"`
-	FramesOK       int64           `json:"frames_ok"`
-	FramesRejected int64           `json:"frames_rejected"`
-	ThroughputFPS  float64         `json:"throughput_fps"`
-	LatencyMeanUs  float64         `json:"latency_mean_micros"`
-	LatencyP50Us   float64         `json:"latency_p50_micros"`
-	LatencyP95Us   float64         `json:"latency_p95_micros"`
-	LatencyP99Us   float64         `json:"latency_p99_micros"`
-	Server         *serve.Snapshot `json:"server,omitempty"`
+	Config          map[string]any        `json:"config"`
+	ElapsedSeconds  float64               `json:"elapsed_seconds"`
+	FramesSent      int64                 `json:"frames_sent"`
+	FramesOK        int64                 `json:"frames_ok"`
+	FramesRejected  int64                 `json:"frames_rejected"`
+	FramesExpired   int64                 `json:"frames_expired"`
+	FramesDegraded  int64                 `json:"frames_degraded"`
+	FramesRetried   int64                 `json:"frames_retried"`
+	ThroughputFPS   float64               `json:"throughput_fps"`
+	LatencyMeanUs   float64               `json:"latency_mean_micros"`
+	LatencyP50Us    float64               `json:"latency_p50_micros"`
+	LatencyP95Us    float64               `json:"latency_p95_micros"`
+	LatencyP99Us    float64               `json:"latency_p99_micros"`
+	LatencyByStatus map[string]latSummary `json:"latency_by_status,omitempty"`
+	Server          *serve.Snapshot       `json:"server,omitempty"`
 }
 
 func main() {
@@ -106,6 +134,9 @@ func main() {
 	flag.DurationVar(&c.duration, "duration", 10*time.Second, "open-loop run length")
 	flag.IntVar(&c.coherence, "coherence", 0, "frames between channel redraws per user (0 = static channel)")
 	flag.Uint64Var(&c.seed, "seed", 0xf1ec, "workload seed (frames are deterministic per (seed, user, frame))")
+	flag.DurationVar(&c.deadline, "deadline", 0, "per-frame staleness budget stamped into every request (0 = none; stale frames are shed with StatusExpired)")
+	flag.IntVar(&c.retries, "retries", 0, "max re-submissions per frame on StatusOverloaded (closed loop only)")
+	flag.StringVar(&c.fault, "fault", "", "comma-separated lossless fault injection on every connection: partial, short, stutter")
 	flag.IntVar(&c.nr, "nr", 6, "receive antennas")
 	flag.IntVar(&c.nt, "nt", 4, "transmit streams")
 	flag.IntVar(&c.k, "k", 32, "subcarriers per frame")
@@ -155,10 +186,15 @@ func main() {
 		}
 		return
 	}
-	fmt.Printf("flexload: %d frames ok, %d rejected in %.2fs — %.0f frames/sec\n",
-		res.FramesOK, res.FramesRejected, res.ElapsedSeconds, res.ThroughputFPS)
+	fmt.Printf("flexload: %d frames ok (%d degraded), %d rejected, %d expired, %d retried in %.2fs — %.0f frames/sec\n",
+		res.FramesOK, res.FramesDegraded, res.FramesRejected, res.FramesExpired, res.FramesRetried,
+		res.ElapsedSeconds, res.ThroughputFPS)
 	fmt.Printf("flexload: latency µs — mean %.0f, p50 %.0f, p95 %.0f, p99 %.0f\n",
 		res.LatencyMeanUs, res.LatencyP50Us, res.LatencyP95Us, res.LatencyP99Us)
+	for status, s := range res.LatencyByStatus {
+		fmt.Printf("flexload: latency[%s] µs — n %d, mean %.0f, p50 %.0f, p95 %.0f, p99 %.0f\n",
+			status, s.Count, s.MeanUs, s.P50Us, s.P95Us, s.P99Us)
+	}
 	if res.Server != nil {
 		var hits, misses int64
 		for _, st := range res.Server.ShardStats {
@@ -226,6 +262,7 @@ func fillFrame(c *config, u *user, q *serve.DetectRequest) error {
 	u.sent++
 	frameID := u.sent
 	q.UserID, q.FrameID, q.Sigma2 = u.id, frameID, c.sigma2
+	q.DeadlineMicros = uint64(c.deadline / time.Microsecond)
 	if err := q.SetGeometry(c.nr, c.nt, c.k, c.s); err != nil {
 		return err
 	}
@@ -266,8 +303,29 @@ func fillFrame(c *config, u *user, q *serve.DetectRequest) error {
 // connStats is one connection's tally, merged after the run.
 type connStats struct {
 	sent, ok, rejected int64
+	expired, degraded  int64
+	retried            int64
 	lat                []time.Duration
+	latBy              map[serve.Status][]time.Duration
 	err                error
+}
+
+// record books one finalized response: overall and per-status latency,
+// plus the disposition counters.
+func (st *connStats) record(status serve.Status, servedNPE int, lat time.Duration) {
+	st.lat = append(st.lat, lat)
+	st.latBy[status] = append(st.latBy[status], lat)
+	switch status {
+	case serve.StatusOK:
+		st.ok++
+		if servedNPE != 0 {
+			st.degraded++
+		}
+	case serve.StatusExpired:
+		st.expired++
+	default:
+		st.rejected++
+	}
 }
 
 // run drives the workload and aggregates the client-side result.
@@ -313,7 +371,7 @@ func run(c *config) (*result, error) {
 			if connReqs != nil {
 				reqs = connReqs[i]
 			}
-			stats[i] = driveConn(c, connUsers[i], reqs, start)
+			stats[i] = driveConn(c, i, connUsers[i], reqs, start)
 		}(i)
 	}
 	wg.Wait()
@@ -327,11 +385,13 @@ func run(c *config) (*result, error) {
 			"backend": c.backend, "conns": c.conns, "users": c.users,
 			"frames": c.frames, "inflight": c.inflight, "rate": c.rate,
 			"coherence": c.coherence, "seed": c.seed,
+			"deadline": c.deadline.String(), "retries": c.retries, "fault": c.fault,
 			"nr": c.nr, "nt": c.nt, "k": c.k, "s": c.s, "sigma2": c.sigma2,
 		},
 		ElapsedSeconds: elapsed.Seconds(),
 	}
 	var all []time.Duration
+	byStatus := map[serve.Status][]time.Duration{}
 	for i := range stats {
 		if stats[i].err != nil {
 			return nil, stats[i].err
@@ -339,23 +399,45 @@ func run(c *config) (*result, error) {
 		res.FramesSent += stats[i].sent
 		res.FramesOK += stats[i].ok
 		res.FramesRejected += stats[i].rejected
+		res.FramesExpired += stats[i].expired
+		res.FramesDegraded += stats[i].degraded
+		res.FramesRetried += stats[i].retried
 		all = append(all, stats[i].lat...)
+		for status, lats := range stats[i].latBy {
+			byStatus[status] = append(byStatus[status], lats...)
+		}
 	}
 	if res.ElapsedSeconds > 0 {
 		res.ThroughputFPS = float64(res.FramesOK) / res.ElapsedSeconds
 	}
 	if len(all) > 0 {
-		sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
-		var sum time.Duration
-		for _, d := range all {
-			sum += d
+		res.LatencyByStatus = make(map[string]latSummary, len(byStatus))
+		for status, lats := range byStatus {
+			res.LatencyByStatus[status.String()] = summarize(lats)
 		}
-		res.LatencyMeanUs = float64(sum.Microseconds()) / float64(len(all))
-		res.LatencyP50Us = float64(pct(all, 50).Microseconds())
-		res.LatencyP95Us = float64(pct(all, 95).Microseconds())
-		res.LatencyP99Us = float64(pct(all, 99).Microseconds())
+		overall := summarize(all)
+		res.LatencyMeanUs = overall.MeanUs
+		res.LatencyP50Us = overall.P50Us
+		res.LatencyP95Us = overall.P95Us
+		res.LatencyP99Us = overall.P99Us
 	}
 	return res, nil
+}
+
+// summarize sorts the samples in place and condenses them.
+func summarize(lats []time.Duration) latSummary {
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	var sum time.Duration
+	for _, d := range lats {
+		sum += d
+	}
+	return latSummary{
+		Count:  int64(len(lats)),
+		MeanUs: float64(sum.Microseconds()) / float64(len(lats)),
+		P50Us:  float64(pct(lats, 50).Microseconds()),
+		P95Us:  float64(pct(lats, 95).Microseconds()),
+		P99Us:  float64(pct(lats, 99).Microseconds()),
+	}
 }
 
 // pct returns the p-th percentile of sorted samples (nearest-rank).
@@ -367,21 +449,143 @@ func pct(sorted []time.Duration, p int) time.Duration {
 	return sorted[idx]
 }
 
+// dialLoad dials the target, wrapping the connection in a FaultConn
+// when -fault asks for injection. Each connection's plan is seeded from
+// the workload seed and the connection index, so runs replay exactly.
+func dialLoad(c *config, idx int) (*serve.Client, error) {
+	if c.fault == "" {
+		return serve.Dial(c.addr)
+	}
+	plan, err := faultPlanFor(c.fault, c.seed, idx)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return serve.NewClient(serve.NewFaultConn(conn, plan)), nil
+}
+
+// faultPlanFor maps the -fault presets onto a FaultPlan. Only the
+// lossless classes are offered — a load generator must complete its
+// run; the lossy classes (corruption, resets) live in the chaos suite.
+func faultPlanFor(spec string, seed uint64, idx int) (serve.FaultPlan, error) {
+	plan := serve.FaultPlan{Seed: seed + uint64(idx)*0x9e3779b97f4a7c15}
+	for _, part := range strings.Split(spec, ",") {
+		switch strings.TrimSpace(part) {
+		case "partial":
+			plan.MaxWriteChunk = 7
+		case "short":
+			plan.MaxReadChunk = 5
+		case "stutter":
+			plan.StutterEvery = 13
+			plan.Stutter = 200 * time.Microsecond
+		case "":
+		default:
+			return plan, fmt.Errorf("-fault %q: unknown fault %q (want partial, short, stutter)", spec, part)
+		}
+	}
+	return plan, nil
+}
+
 // driveConn runs one connection's workload: closed loop (in-flight
-// window over pregenerated frames, Queue/Flush coalescing) or open loop
-// (paced inline-synthesised sends with a concurrent reader).
-func driveConn(c *config, users []*user, reqs []*serve.DetectRequest, start time.Time) connStats {
-	var st connStats
+// window over pregenerated frames, Queue/Flush coalescing, optional
+// overload retries) or open loop (paced inline-synthesised sends with
+// a concurrent reader).
+func driveConn(c *config, idx int, users []*user, reqs []*serve.DetectRequest, start time.Time) connStats {
+	st := connStats{latBy: map[serve.Status][]time.Duration{}}
 	if len(users) == 0 {
 		return st
 	}
-	cl, err := serve.Dial(c.addr)
+	cl, err := dialLoad(c, idx)
 	if err != nil {
 		st.err = err
 		return st
 	}
 	defer cl.Close()
 
+	if c.rate > 0 {
+		st.err = openLoopConn(c, cl, users, &st)
+		return st
+	}
+	st.err = closedLoop(c, cl, reqs, &st)
+	return st
+}
+
+// pending is one closed-loop frame on the wire: its request (kept for
+// re-submission), original send time (latency spans retries) and how
+// many times it has been re-submitted after StatusOverloaded.
+type pending struct {
+	q        *serve.DetectRequest
+	t0       time.Time
+	attempts int
+}
+
+// closedLoop drives the pregenerated frames through an in-flight
+// window. Responses echo FrameID only, so outstanding frames are
+// matched FIFO per FrameID: when several users have the same FrameID in
+// flight the latency/retry attribution between them is approximate, but
+// every frame is finalized exactly once — re-submission is safe because
+// requests are idempotent by (UserID, FrameID).
+func closedLoop(c *config, cl *serve.Client, reqs []*serve.DetectRequest, st *connStats) error {
+	total := len(reqs)
+	outstanding := make(map[uint64][]*pending, c.inflight)
+	next, open, finalized := 0, 0, 0
+	var resp serve.DetectResponse
+	for finalized < total {
+		for next < total && open < c.inflight {
+			qp := reqs[next]
+			next++
+			open++
+			st.sent++
+			outstanding[qp.FrameID] = append(outstanding[qp.FrameID], &pending{q: qp, t0: time.Now()})
+			if err := cl.Queue(qp); err != nil {
+				return err
+			}
+		}
+		if err := cl.Flush(); err != nil {
+			return err
+		}
+		if err := cl.Recv(&resp); err != nil {
+			return err
+		}
+		fifo := outstanding[resp.FrameID]
+		if len(fifo) == 0 {
+			return fmt.Errorf("unmatched response for frame %d", resp.FrameID)
+		}
+		p := fifo[0]
+		outstanding[resp.FrameID] = fifo[1:]
+		if resp.Status == serve.StatusOverloaded && p.attempts < c.retries {
+			// Explicit backpressure with retry budget left: re-queue the
+			// frame (flushed at the top of the next iteration) and keep it
+			// open. Its latency keeps accruing from the first send.
+			p.attempts++
+			st.retried++
+			st.sent++
+			outstanding[resp.FrameID] = append(outstanding[resp.FrameID], p)
+			if err := cl.Queue(p.q); err != nil {
+				return err
+			}
+			continue
+		}
+		st.record(resp.Status, resp.ServedNPE, time.Since(p.t0))
+		open--
+		finalized++
+	}
+	return nil
+}
+
+// openLoopConn wires the open-loop pacer's send/recv hooks for one
+// connection: inline frame synthesis round-robin over the connection's
+// users, with a response matcher keyed by (user, frame). -retries does
+// not apply here — an open-loop generator measures the server's
+// behaviour at the offered rate, it does not add load to a server
+// already shedding it.
+func openLoopConn(c *config, cl *serve.Client, users []*user, st *connStats) error {
 	// sendAt maps an on-the-wire (user, frame) key to its send time.
 	// Guarded by mu: the open-loop mode reads responses on a separate
 	// goroutine (Client.Queue and Client.Recv are individually
@@ -390,25 +594,19 @@ func driveConn(c *config, users []*user, reqs []*serve.DetectRequest, start time
 	var mu sync.Mutex
 	sendAt := make(map[key]time.Time, c.inflight*len(users)+1)
 	var q serve.DetectRequest
-	next := 0 // round-robin user cursor (open loop) / send index (closed loop)
+	next := 0 // round-robin user cursor
 
 	send := func() error {
-		qp := &q
-		if reqs != nil {
-			qp = reqs[next]
-			next++
-		} else {
-			u := users[next]
-			next = (next + 1) % len(users)
-			if err := fillFrame(c, u, qp); err != nil {
-				return err
-			}
+		u := users[next]
+		next = (next + 1) % len(users)
+		if err := fillFrame(c, u, &q); err != nil {
+			return err
 		}
 		mu.Lock()
-		sendAt[key{qp.UserID, qp.FrameID}] = time.Now()
+		sendAt[key{q.UserID, q.FrameID}] = time.Now()
 		st.sent++
 		mu.Unlock()
-		return cl.Queue(qp)
+		return cl.Queue(&q)
 	}
 	var resp serve.DetectResponse
 	recv := func() error {
@@ -419,48 +617,22 @@ func driveConn(c *config, users []*user, reqs []*serve.DetectRequest, start time
 		// outstanding frame with that ID (FrameIDs are per-user
 		// sequence numbers, unique per user).
 		mu.Lock()
+		lat := time.Duration(-1)
 		for _, u := range users {
 			k := key{u.id, resp.FrameID}
 			if t0, ok := sendAt[k]; ok {
-				st.lat = append(st.lat, time.Since(t0))
+				lat = time.Since(t0)
 				delete(sendAt, k)
 				break
 			}
 		}
-		if resp.Status == serve.StatusOK {
-			st.ok++
-		} else {
-			st.rejected++
+		if lat >= 0 {
+			st.record(resp.Status, resp.ServedNPE, lat)
 		}
 		mu.Unlock()
 		return nil
 	}
-
-	if c.rate > 0 {
-		st.err = openLoop(c, cl, send, recv)
-		return st
-	}
-
-	total := int64(c.frames * len(users))
-	var recvd int64
-	for recvd < total {
-		for st.sent < total && st.sent-recvd < int64(c.inflight) {
-			if err := send(); err != nil {
-				st.err = err
-				return st
-			}
-		}
-		if err := cl.Flush(); err != nil {
-			st.err = err
-			return st
-		}
-		if err := recv(); err != nil {
-			st.err = err
-			return st
-		}
-		recvd++
-	}
-	return st
+	return openLoop(c, cl, send, recv)
 }
 
 // openLoop paces this connection's share of the aggregate target rate

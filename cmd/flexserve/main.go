@@ -16,6 +16,7 @@
 //
 //	flexserve -listen :7600 -metrics :7601 -shards 4 -qam 16 -npe 64
 //	flexserve -listen :7600 -shards 8 -shardworkers 4 -reuse 0 -qam 64 -npe 128 -backend soa32
+//	flexserve -listen :7600 -npe 512 -ladder 128,32 -degrade-start 0.5 -idle-timeout 2m
 package main
 
 import (
@@ -26,6 +27,8 @@ import (
 	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -48,6 +51,11 @@ func main() {
 	workers := flag.Int("workers", 0, "per-detector worker pool (0/1 = sequential; decisions are identical for any value)")
 	reuse := flag.Float64("reuse", -1, "coherence threshold for position-vector reuse, within frames and per user across frames (<0 = off; 0 = exact-match, output-neutral)")
 	backendName := flag.String("backend", "", "kernel backend: complex128 (default) or soa32")
+	ladder := flag.String("ladder", "", "comma-separated descending N_PE degradation rungs (e.g. 128,32 under -npe 512); empty disables graceful degradation")
+	degradeStart := flag.Float64("degrade-start", 0, "queue-fill fraction at which degradation begins (0 = default 0.5)")
+	readTimeout := flag.Duration("read-timeout", 30*time.Second, "per-frame read budget once a header has arrived (0 disables)")
+	idleTimeout := flag.Duration("idle-timeout", 5*time.Minute, "idle-connection reap budget between frames (0 disables)")
+	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "per-flush response write budget (0 disables)")
 	drainTimeout := flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGINT/SIGTERM")
 	pprof := flag.Bool("pprof", false, "mount net/http/pprof profiling handlers on the metrics address")
 	flag.Parse()
@@ -71,41 +79,40 @@ func main() {
 		opts.ReuseThreshold = *reuse
 	}
 
-	srv, err := serve.NewServer(serve.Config{
+	rungs, err := parseLadder(*ladder)
+	if err != nil {
+		fatal(err)
+	}
+	scfg := serve.Config{
 		Shards:          *shards,
 		WorkersPerShard: *shardWorkers,
 		QueueDepth:      *queue,
 		UserStateCap:    *userCap,
+		DegradeStart:    *degradeStart,
+		ReadTimeout:     *readTimeout,
+		IdleTimeout:     *idleTimeout,
+		WriteTimeout:    *writeTimeout,
 		DetectorFactory: func() detector.Detector {
 			return core.New(cons, opts)
 		},
-	})
+	}
+	if len(rungs) > 0 {
+		scfg.DegradeLadder = rungs
+		scfg.DegradeFactory = func(npe int) detector.Detector {
+			rungOpts := opts
+			rungOpts.NPE = npe
+			return core.New(cons, rungOpts)
+		}
+	}
+	srv, err := serve.NewServer(scfg)
 	if err != nil {
 		fatal(err)
 	}
 
 	if *metricsAddr != "" {
-		mux := http.NewServeMux()
-		mux.Handle("/metrics", srv.MetricsHandler())
-		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-			if srv.Draining() {
-				http.Error(w, "draining", http.StatusServiceUnavailable)
-				return
-			}
-			fmt.Fprintln(w, "ok")
-		})
-		if *pprof {
-			// net/http/pprof self-registers on http.DefaultServeMux,
-			// which flexserve never serves; mount the handlers on the
-			// metrics mux explicitly so profiling shares that listener.
-			mux.HandleFunc("/debug/pprof/", httppprof.Index)
-			mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
-			mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
-			mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
-			mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
-		}
+		hs := newMetricsServer(*metricsAddr, newMetricsMux(srv, *pprof))
 		go func() {
-			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+			if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintf(os.Stderr, "flexserve: metrics endpoint: %v\n", err)
 			}
 		}()
@@ -126,6 +133,9 @@ func main() {
 
 	fmt.Printf("flexserve: %d-QAM, %d shards × %d workers × (NPE=%d, detworkers=%d, backend=%s), queue depth %d\n",
 		*qam, *shards, *shardWorkers, *npe, *workers, backend, *queue)
+	if len(rungs) > 0 {
+		fmt.Printf("flexserve: degradation ladder %v (start at %.0f%% queue fill)\n", rungs, scfg.DegradeStart*100)
+	}
 	fmt.Printf("flexserve: listening on %s (metrics on %s)\n", *listen, *metricsAddr)
 	if err := srv.ListenAndServe(*listen); err != nil {
 		fatal(err)
@@ -134,6 +144,65 @@ func main() {
 	fmt.Printf("flexserve: drained — %d completed, %d rejected (%d overload, %d draining, %d invalid)\n",
 		snap.Completed, snap.RejectedOverload+snap.RejectedDraining+snap.RejectedInvalid,
 		snap.RejectedOverload, snap.RejectedDraining, snap.RejectedInvalid)
+}
+
+// parseLadder parses the -ladder flag: a comma-separated list of
+// descending N_PE rungs, empty for none. Ordering and positivity are
+// validated again by serve.NewServer; this only parses.
+func parseLadder(spec string) ([]int, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(spec, ",")
+	rungs := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("-ladder %q: %w", spec, err)
+		}
+		rungs = append(rungs, n)
+	}
+	return rungs, nil
+}
+
+// newMetricsMux builds the metrics/health mux served on -metrics.
+func newMetricsMux(srv *serve.Server, pprof bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", srv.MetricsHandler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if srv.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	if pprof {
+		// net/http/pprof self-registers on http.DefaultServeMux,
+		// which flexserve never serves; mount the handlers on the
+		// metrics mux explicitly so profiling shares that listener.
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	}
+	return mux
+}
+
+// newMetricsServer wraps the mux in an http.Server with every idle- and
+// slow-client budget set: the metrics sidecar must never be the
+// unbounded listener on a box whose data plane enforces deadlines.
+// (The pprof profile endpoint streams for its ?seconds= window, so the
+// write budget stays generous.)
+func newMetricsServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 }
 
 func fatal(err error) {

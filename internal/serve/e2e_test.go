@@ -60,23 +60,30 @@ func fillFrame(t testing.TB, q *DetectRequest, userID, frameID uint64) {
 	}
 }
 
-// offlineCache memoizes offlineDecisions per request payload: the e2e
-// matrix re-checks the same deterministic (userID, frameID) frames
-// across many server configurations, and the reference decisions are a
-// pure function of the request bytes (backend and NPE are fixed per
-// process).
-var offlineCache sync.Map // string(payload) -> []int
+// offlineCache memoizes offlineDecisionsNPE per (request payload, NPE):
+// the e2e matrix re-checks the same deterministic (userID, frameID)
+// frames across many server configurations and degradation rungs, and
+// the reference decisions are a pure function of the request bytes and
+// the N_PE they are detected at (the backend is fixed per process).
+var offlineCache sync.Map // string(payload)+"@npe" -> []int
 
-// offlineDecisions runs the reference path — a fresh single-worker
-// detector, scalar Prepare+Detect looped over every subcarrier and
-// OFDM symbol — and returns the flat (k, s, stream)-major decisions.
+// offlineDecisions runs the reference path at the full e2e N_PE.
 func offlineDecisions(t testing.TB, cons *constellation.Constellation, q *DetectRequest) []int {
+	return offlineDecisionsNPE(t, cons, q, e2eNPE)
+}
+
+// offlineDecisionsNPE runs the reference path — a fresh single-worker
+// detector at the given N_PE, scalar Prepare+Detect looped over every
+// subcarrier and OFDM symbol — and returns the flat (k, s, stream)-major
+// decisions. The degradation suite compares served frames against it at
+// the rung N_PE the server reported.
+func offlineDecisionsNPE(t testing.TB, cons *constellation.Constellation, q *DetectRequest, npe int) []int {
 	t.Helper()
-	key := string(q.AppendPayload(nil))
+	key := fmt.Sprintf("%s@%d", q.AppendPayload(nil), npe)
 	if got, ok := offlineCache.Load(key); ok {
 		return got.([]int)
 	}
-	det := core.New(cons, core.Options{NPE: e2eNPE, Workers: 1, Backend: envBackend(t)})
+	det := core.New(cons, core.Options{NPE: npe, Workers: 1, Backend: envBackend(t)})
 	defer det.Close()
 	out := make([]int, 0, q.Subcarriers*q.Symbols*q.Nt)
 	for k := 0; k < q.Subcarriers; k++ {
@@ -103,6 +110,9 @@ func checkResponse(t testing.TB, cons *constellation.Constellation, q *DetectReq
 	}
 	if resp.Nt != q.Nt || resp.Subcarriers != q.Subcarriers || resp.Symbols != q.Symbols {
 		t.Fatalf("user %d frame %d: geometry echo mismatch", q.UserID, q.FrameID)
+	}
+	if resp.ServedNPE != 0 {
+		t.Fatalf("user %d frame %d: served N_PE %d on a server without a degrade ladder", q.UserID, q.FrameID, resp.ServedNPE)
 	}
 	want := offlineDecisions(t, cons, q)
 	if len(resp.Decisions) != len(want) {

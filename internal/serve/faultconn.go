@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjectedReset is the typed error a FaultConn write returns when
+// its plan's ResetAfter point is reached: the connection is closed
+// mid-frame, exactly like a peer dying between two TCP segments.
+var ErrInjectedReset = errors.New("serve: injected connection reset")
+
+// FaultPlan configures a FaultConn. Every fault is deterministic: the
+// same plan over the same traffic injects the same faults at the same
+// byte offsets, so a chaos test that fails replays exactly.
+//
+// MaxWriteChunk, MaxReadChunk and StutterEvery are lossless — they
+// reshape the byte stream's timing and segmentation without changing
+// its contents, so every request must still be answered correctly.
+// CorruptByte and ResetAfter are lossy: the CRC layer must detect the
+// former and the framing layer must surface the latter as a clean
+// typed error.
+type FaultPlan struct {
+	// Seed seeds the SplitMix64 stream driving chunk sizes.
+	Seed uint64
+	// MaxWriteChunk > 0 fragments every Write into chunks of 1..Max
+	// bytes (partial writes — the peer sees the frame trickle in).
+	MaxWriteChunk int
+	// MaxReadChunk > 0 caps every Read at 1..Max bytes (short reads).
+	MaxReadChunk int
+	// StutterEvery > 0 sleeps Stutter before every StutterEvery-th I/O
+	// operation (bursty scheduling delays).
+	StutterEvery int
+	// Stutter is the stutter delay (default 1ms when StutterEvery > 0).
+	Stutter time.Duration
+	// CorruptByte > 0 flips one bit in the CorruptByte-th byte written
+	// (1-based, counted across all writes) — in-flight corruption the
+	// receiver's CRC must catch.
+	CorruptByte int64
+	// ResetAfter > 0 closes the connection once ResetAfter bytes have
+	// been written (1-based threshold: the write delivering byte
+	// ResetAfter delivers the bytes before it, then fails with
+	// ErrInjectedReset).
+	ResetAfter int64
+}
+
+// FaultConn wraps a net.Conn with deterministic fault injection for
+// the chaos suite. It is safe for the usual one-reader/one-writer
+// concurrent use of a net.Conn.
+type FaultConn struct {
+	net.Conn
+	plan FaultPlan
+
+	mu    sync.Mutex
+	rng   uint64
+	ops   int64 // I/O operations, for stutter cadence
+	wrote int64 // bytes successfully handed to the underlying conn
+}
+
+// NewFaultConn wraps conn with the plan's faults.
+func NewFaultConn(conn net.Conn, plan FaultPlan) *FaultConn {
+	if plan.StutterEvery > 0 && plan.Stutter <= 0 {
+		plan.Stutter = time.Millisecond
+	}
+	return &FaultConn{Conn: conn, plan: plan, rng: plan.Seed}
+}
+
+// stutter sleeps on every StutterEvery-th I/O operation.
+func (c *FaultConn) stutter() {
+	c.mu.Lock()
+	c.ops++
+	hit := c.plan.StutterEvery > 0 && c.ops%int64(c.plan.StutterEvery) == 0
+	c.mu.Unlock()
+	if hit {
+		time.Sleep(c.plan.Stutter)
+	}
+}
+
+// chunk draws a deterministic size in 1..max.
+func (c *FaultConn) chunk(max int) int {
+	c.mu.Lock()
+	n := 1 + int(splitmix(&c.rng)%uint64(max))
+	c.mu.Unlock()
+	return n
+}
+
+// Read reads from the underlying conn, capped to a short read when the
+// plan asks for one.
+func (c *FaultConn) Read(p []byte) (int, error) {
+	c.stutter()
+	if c.plan.MaxReadChunk > 0 && len(p) > 0 {
+		if n := c.chunk(c.plan.MaxReadChunk); n < len(p) {
+			p = p[:n]
+		}
+	}
+	return c.Conn.Read(p)
+}
+
+// Write delivers p through the underlying conn, applying the plan's
+// write-side faults: fragmentation, one-bit corruption at CorruptByte,
+// and the mid-stream reset at ResetAfter.
+func (c *FaultConn) Write(p []byte) (int, error) {
+	c.stutter()
+	c.mu.Lock()
+	start := c.wrote
+	c.mu.Unlock()
+
+	// Work on a copy when a fault mutates or truncates the stream —
+	// the caller's buffer must never be touched.
+	buf := p
+	resetAt := -1 // index within this write after which the conn dies
+	if c.plan.ResetAfter > 0 && start < c.plan.ResetAfter && c.plan.ResetAfter <= start+int64(len(p)) {
+		resetAt = int(c.plan.ResetAfter - start - 1)
+	}
+	if c.plan.CorruptByte > 0 && start < c.plan.CorruptByte && c.plan.CorruptByte <= start+int64(len(p)) {
+		cp := make([]byte, len(p))
+		copy(cp, p)
+		cp[c.plan.CorruptByte-start-1] ^= 0x20
+		buf = cp
+	}
+
+	written := 0
+	for written < len(buf) {
+		end := len(buf)
+		if c.plan.MaxWriteChunk > 0 {
+			if n := written + c.chunk(c.plan.MaxWriteChunk); n < end {
+				end = n
+			}
+		}
+		deliver := buf[written:end]
+		if resetAt >= 0 && resetAt < end {
+			// Deliver the bytes up to the reset point, then kill the conn.
+			deliver = buf[written:resetAt]
+			if len(deliver) > 0 {
+				n, err := c.Conn.Write(deliver)
+				c.account(n)
+				written += n
+				if err != nil {
+					return written, err
+				}
+			}
+			c.Conn.Close()
+			return written, ErrInjectedReset
+		}
+		n, err := c.Conn.Write(deliver)
+		c.account(n)
+		written += n
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// account tracks delivered bytes under the lock.
+func (c *FaultConn) account(n int) {
+	c.mu.Lock()
+	c.wrote += int64(n)
+	c.mu.Unlock()
+}

@@ -25,21 +25,37 @@ func FuzzFrameCodec(f *testing.F) {
 		f.Fatal(err)
 	}
 	reqPayload := q.AppendPayload(nil)
+	q.DeadlineMicros = 2500
+	reqDeadline := q.AppendPayload(nil)
 	resp := DetectResponse{FrameID: 9, Status: StatusOK, Nt: 2, Subcarriers: 1, Symbols: 1, Decisions: []uint16{1, 2}}
 	respPayload := resp.AppendPayload(nil)
+	resp.ServedNPE = 32
+	respDegraded := resp.AppendPayload(nil)
 
 	seeds := [][]byte{
 		{},
 		AppendFrame(nil, MsgDetect, nil),
 		AppendFrame(nil, MsgDetect, reqPayload),
+		AppendFrame(nil, MsgDetect, reqDeadline),
 		AppendFrame(nil, MsgResult, respPayload),
-		AppendFrame(nil, MsgResult, appendRespHeader(nil, 9, StatusOverloaded, 0, 0, 0)),
+		AppendFrame(nil, MsgResult, respDegraded),
+		AppendFrame(nil, MsgResult, appendRespHeader(nil, 9, StatusOverloaded, 0, 0, 0, 0)),
+		AppendFrame(nil, MsgResult, appendRespHeader(nil, 9, StatusExpired, 0, 0, 0, 0)),
 		AppendFrame(nil, MsgDetect, []byte("garbage payload")),
 		append(AppendFrame(nil, MsgDetect, reqPayload), AppendFrame(nil, MsgResult, respPayload)...),
 	}
-	valid := AppendFrame(nil, MsgDetect, reqPayload)
-	for _, i := range []int{0, 4, 5, 8, 12, headerSize} {
+	valid := AppendFrame(nil, MsgDetect, reqDeadline)
+	// Corruption classes: magic, type, reserved, length, CRC, payload —
+	// plus the deadline field (payload offset 32) and the response
+	// served-N_PE field, so the fuzzer starts on both v2 additions.
+	for _, i := range []int{0, 4, 5, 8, 12, headerSize, headerSize + 32} {
 		c := append([]byte(nil), valid...)
+		c[i] ^= 0xff
+		seeds = append(seeds, c)
+	}
+	degFrame := AppendFrame(nil, MsgResult, respDegraded)
+	for _, i := range []int{headerSize + 16, headerSize + 19} {
+		c := append([]byte(nil), degFrame...)
 		c[i] ^= 0xff
 		seeds = append(seeds, c)
 	}

@@ -28,8 +28,11 @@ type metrics struct {
 	rejectedOverload atomic.Int64
 	rejectedDraining atomic.Int64
 	rejectedInvalid  atomic.Int64
+	expired          atomic.Int64
+	degraded         atomic.Int64
 	badFrames        atomic.Int64
 	writeErrors      atomic.Int64
+	connTimeouts     atomic.Int64
 
 	lat          [latencyBucketCount]atomic.Int64
 	latCount     atomic.Int64
@@ -101,11 +104,26 @@ type Snapshot struct {
 	RejectedOverload int64 `json:"rejected_overload"`
 	RejectedDraining int64 `json:"rejected_draining"`
 	RejectedInvalid  int64 `json:"rejected_invalid"`
+	// ExpiredFrames counts frames shed with StatusExpired because their
+	// staleness budget (DetectRequest.DeadlineMicros) elapsed before a
+	// worker started detecting them. Frames expired at dequeue also
+	// count in Completed (the in-flight ledger drains through them);
+	// frames expired at admission count in neither Accepted nor
+	// Completed.
+	ExpiredFrames int64 `json:"expired_frames"`
+	// DegradedFrames counts frames the pressure controller served at a
+	// reduced N_PE from Config.DegradeLadder (also counted in
+	// Completed; the response carries the served N_PE).
+	DegradedFrames int64 `json:"degraded_frames"`
 	// BadFrames counts connections dropped for unrecoverable framing
 	// errors (bad magic, checksum mismatch, truncation).
 	BadFrames int64 `json:"bad_frames"`
-	// WriteErrors counts responses lost to broken client connections.
+	// WriteErrors counts connections condemned for a failed or stalled
+	// response write (one count per connection).
 	WriteErrors int64 `json:"write_errors"`
+	// ConnTimeouts counts connections closed by the hygiene deadlines:
+	// idle reaping, a mid-frame read stall, or a write stall.
+	ConnTimeouts int64 `json:"conn_timeouts"`
 
 	// ThroughputFPS is completed frames per second of uptime.
 	ThroughputFPS float64 `json:"throughput_fps"`
@@ -144,8 +162,11 @@ func (s *Server) Metrics() Snapshot {
 		RejectedOverload: s.met.rejectedOverload.Load(),
 		RejectedDraining: s.met.rejectedDraining.Load(),
 		RejectedInvalid:  s.met.rejectedInvalid.Load(),
+		ExpiredFrames:    s.met.expired.Load(),
+		DegradedFrames:   s.met.degraded.Load(),
 		BadFrames:        s.met.badFrames.Load(),
 		WriteErrors:      s.met.writeErrors.Load(),
+		ConnTimeouts:     s.met.connTimeouts.Load(),
 	}
 	snap.InFlight = snap.Accepted - snap.Completed
 	if snap.UptimeSeconds > 0 {

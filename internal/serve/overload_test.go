@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"net"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -21,6 +22,7 @@ type slowDetector struct {
 	started chan struct{}
 	gate    chan struct{}
 	dec     []int
+	calls   atomic.Int64 // Detect invocations — deadline tests assert expired frames never reach the detector
 }
 
 func newSlowDetector() *slowDetector {
@@ -39,6 +41,7 @@ func (d *slowDetector) Prepare(h *cmatrix.Matrix, sigma2 float64) error {
 }
 
 func (d *slowDetector) Detect(y []complex128) []int {
+	d.calls.Add(1)
 	select {
 	case d.started <- struct{}{}:
 	default:

@@ -27,10 +27,15 @@ const (
 	// StatusInvalid: the request payload was malformed (bad geometry,
 	// non-finite values, size mismatch) or detection failed.
 	StatusInvalid Status = 3
+	// StatusExpired: the request's deadline (DetectRequest.DeadlineMicros)
+	// elapsed before a worker could start detecting it — the frame was
+	// shed at admission or at dequeue instead of burning detector time on
+	// a result the PHY can no longer use.
+	StatusExpired Status = 4
 )
 
 // statusMax is the highest defined status (decode validation bound).
-const statusMax = StatusInvalid
+const statusMax = StatusExpired
 
 // String names the status for logs and test failures.
 func (s Status) String() string {
@@ -43,6 +48,8 @@ func (s Status) String() string {
 		return "draining"
 	case StatusInvalid:
 		return "invalid"
+	case StatusExpired:
+		return "expired"
 	}
 	return "unknown"
 }
@@ -61,8 +68,8 @@ const (
 
 // Payload sizes (bytes).
 const (
-	reqHeaderSize  = 32
-	respHeaderSize = 16
+	reqHeaderSize  = 40
+	respHeaderSize = 20
 	c128Size       = 16 // one complex128 on the wire: re, im float64
 )
 
@@ -91,7 +98,8 @@ var (
 //	26      2                Nt transmit streams (≤ Nr)
 //	28      2                K subcarriers
 //	30      2                S OFDM symbols
-//	32      K·Nr·Nt·16       channel matrices, row-major per subcarrier
+//	32      8                deadline budget in µs (0 = none)
+//	40      K·Nr·Nt·16       channel matrices, row-major per subcarrier
 //	…       K·S·Nr·16        received vectors, symbol-major per subcarrier
 type DetectRequest struct {
 	// UserID routes the request to a shard: frames from one user always
@@ -104,6 +112,13 @@ type DetectRequest struct {
 	Sigma2 float64
 	// Nr, Nt, Subcarriers, Symbols are the frame geometry.
 	Nr, Nt, Subcarriers, Symbols int
+	// DeadlineMicros is the frame's staleness budget in microseconds,
+	// measured by the server from the frame's arrival (no client/server
+	// clock synchronisation is assumed — it is a TTL, not a timestamp).
+	// A frame whose budget elapses before a worker starts detecting it
+	// is answered with StatusExpired instead of being served late. 0
+	// means no deadline.
+	DeadlineMicros uint64
 
 	hdata []complex128     // flat channel storage: K·Nr·Nt
 	hs    []cmatrix.Matrix // per-subcarrier headers into hdata
@@ -180,6 +195,7 @@ func (q *DetectRequest) AppendPayload(dst []byte) []byte {
 	dst = appendU16(dst, uint16(q.Nt))
 	dst = appendU16(dst, uint16(q.Subcarriers))
 	dst = appendU16(dst, uint16(q.Symbols))
+	dst = appendU64(dst, q.DeadlineMicros)
 	for _, v := range q.hdata {
 		dst = appendC128(dst, v)
 	}
@@ -208,6 +224,7 @@ func (q *DetectRequest) Decode(payload []byte) error {
 	nt := int(binary.BigEndian.Uint16(payload[26:28]))
 	subcarriers := int(binary.BigEndian.Uint16(payload[28:30]))
 	symbols := int(binary.BigEndian.Uint16(payload[30:32]))
+	q.DeadlineMicros = binary.BigEndian.Uint64(payload[32:40])
 	if err := q.SetGeometry(nr, nt, subcarriers, symbols); err != nil { //lint:ignore noalloc amortised: request storage regrows only past its high-water mark
 		return err
 	}
@@ -259,11 +276,17 @@ func peekFrameID(payload []byte) uint64 {
 //	10      2           Nt
 //	12      2           K subcarriers
 //	14      2           S OFDM symbols
-//	16      K·S·Nt·2    decisions, uint16 each, (k, s, stream)-major
+//	16      4           served N_PE (0 = full configured N_PE)
+//	20      K·S·Nt·2    decisions, uint16 each, (k, s, stream)-major
 type DetectResponse struct {
 	FrameID                  uint64
 	Status                   Status
 	Nt, Subcarriers, Symbols int
+	// ServedNPE reports the processing-element count the frame was
+	// actually detected with when the pressure controller degraded it
+	// below the serving configuration's full N_PE; 0 means the frame was
+	// served at full quality. Always 0 on non-OK statuses.
+	ServedNPE int
 	// Decisions is the flat (subcarrier, symbol, stream)-major decision
 	// array; it is reused across Decode calls.
 	Decisions []uint16
@@ -276,15 +299,16 @@ func (r *DetectResponse) Decision(k, s, i int) int {
 }
 
 // appendRespHeader appends the response payload header. Non-OK
-// statuses carry zero geometry and no decisions.
+// statuses carry zero geometry, zero served N_PE and no decisions.
 //
 //flexcore:noalloc
-func appendRespHeader(dst []byte, frameID uint64, st Status, nt, subcarriers, symbols int) []byte {
+func appendRespHeader(dst []byte, frameID uint64, st Status, npe, nt, subcarriers, symbols int) []byte {
 	dst = appendU64(dst, frameID)             //lint:ignore noalloc amortised: response buffers are task/connection-owned and regrow only past their high-water mark
 	dst = append(dst, byte(st), 0)            //lint:ignore noalloc amortised: same reused buffer
 	dst = appendU16(dst, uint16(nt))          //lint:ignore noalloc amortised: same reused buffer
 	dst = appendU16(dst, uint16(subcarriers)) //lint:ignore noalloc amortised: same reused buffer
-	return appendU16(dst, uint16(symbols))    //lint:ignore noalloc amortised: same reused buffer
+	dst = appendU16(dst, uint16(symbols))     //lint:ignore noalloc amortised: same reused buffer
+	return appendU32(dst, uint32(npe))        //lint:ignore noalloc amortised: same reused buffer
 }
 
 // appendDecisions appends one subcarrier's detected burst (the
@@ -315,8 +339,9 @@ func (r *DetectResponse) Decode(payload []byte) error {
 	r.Nt = int(binary.BigEndian.Uint16(payload[10:12]))
 	r.Subcarriers = int(binary.BigEndian.Uint16(payload[12:14]))
 	r.Symbols = int(binary.BigEndian.Uint16(payload[14:16]))
+	r.ServedNPE = int(binary.BigEndian.Uint32(payload[16:20]))
 	if st != StatusOK {
-		if r.Nt != 0 || r.Subcarriers != 0 || r.Symbols != 0 || len(payload) != respHeaderSize {
+		if r.Nt != 0 || r.Subcarriers != 0 || r.Symbols != 0 || r.ServedNPE != 0 || len(payload) != respHeaderSize {
 			return ErrPayload
 		}
 		r.Decisions = r.Decisions[:0]
@@ -344,7 +369,7 @@ func (r *DetectResponse) Decode(payload []byte) error {
 // (the fuzz target's round-trip oracle; the server encodes responses
 // incrementally through appendRespHeader/appendDecisions).
 func (r *DetectResponse) AppendPayload(dst []byte) []byte {
-	dst = appendRespHeader(dst, r.FrameID, r.Status, r.Nt, r.Subcarriers, r.Symbols)
+	dst = appendRespHeader(dst, r.FrameID, r.Status, r.ServedNPE, r.Nt, r.Subcarriers, r.Symbols)
 	for _, d := range r.Decisions {
 		dst = appendU16(dst, d)
 	}
@@ -365,6 +390,13 @@ func appendU64(dst []byte, v uint64) []byte {
 //flexcore:noalloc
 func appendU16(dst []byte, v uint16) []byte {
 	return append(dst, byte(v>>8), byte(v)) //lint:ignore noalloc amortised: all wire buffers are reused and regrow only past their high-water mark
+}
+
+// appendU32 appends v big-endian.
+//
+//flexcore:noalloc
+func appendU32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v>>24), byte(v>>16), byte(v>>8), byte(v)) //lint:ignore noalloc amortised: all wire buffers are reused and regrow only past their high-water mark
 }
 
 // appendC128 appends a complex128 as two big-endian float64s.

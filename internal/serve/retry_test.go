@@ -1,0 +1,272 @@
+package serve
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"flexcore/internal/detector"
+)
+
+// TestDoRetryOverloaded: a client hitting a full shard gets explicit
+// StatusOverloaded backpressure and DoRetry re-submits with backoff
+// until capacity frees — the caller sees one OK response, plus the
+// retry count for its telemetry.
+func TestDoRetryOverloaded(t *testing.T) {
+	slow := newSlowDetector()
+	srv, err := NewServer(Config{
+		Shards:          1,
+		QueueDepth:      1,
+		DetectorFactory: func() detector.Detector { return slow },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Frame 1 (user 1) parks the worker; frame 2 (user 2) fills the
+	// depth-1 backlog. The filler client is drained on its own goroutine
+	// so the eventual completions cannot deadlock the synchronous pipe.
+	filler := srv.InProcess()
+	defer filler.Close()
+	fillerResponses := recvAll(filler)
+	var q DetectRequest
+	tinyFrame(t, &q, 1)
+	if err := filler.Send(&q); err != nil {
+		t.Fatal(err)
+	}
+	<-slow.started
+	tinyFrame(t, &q, 2)
+	q.UserID = 2
+	if err := filler.Send(&q); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "backlog admission", func() bool { return srv.Metrics().Accepted == 2 })
+
+	// Open the gate as soon as the retrying client has been rejected at
+	// least once, so the retry loop observes both the rejection and the
+	// recovery deterministically.
+	release := make(chan struct{})
+	go func() {
+		defer close(release)
+		for srv.Metrics().RejectedOverload == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		close(slow.gate)
+	}()
+
+	cl := srv.InProcess()
+	defer cl.Close()
+	cl.SetRetryPolicy(RetryPolicy{Attempts: 10, Backoff: time.Millisecond, Seed: 7})
+	tinyFrame(t, &q, 3)
+	q.UserID = 3
+	var resp DetectResponse
+	retries, err := cl.DoRetry(&q, &resp)
+	if err != nil {
+		t.Fatalf("DoRetry: %v", err)
+	}
+	if resp.Status != StatusOK || resp.FrameID != 3 {
+		t.Fatalf("status %v frame %d after retries, want ok frame 3", resp.Status, resp.FrameID)
+	}
+	if retries < 1 {
+		t.Fatalf("retries %d, want at least 1 — the first attempt hit a full queue", retries)
+	}
+	<-release
+	_ = fillerResponses // drained on its own goroutine; frames 1 and 2 complete once the gate opens
+	waitFor(t, "all frames completed", func() bool { return srv.Metrics().Completed == 3 })
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	snap := srv.Metrics()
+	if snap.Completed != 3 {
+		t.Fatalf("completed %d, want 3 — the retried frame must be served exactly once after admission", snap.Completed)
+	}
+	if snap.RejectedOverload < 1 {
+		t.Fatalf("rejected_overload %d, want ≥ 1", snap.RejectedOverload)
+	}
+}
+
+// TestDoRetryExhaustion: when the overload never clears, DoRetry
+// returns the last StatusOverloaded response (not an error — explicit
+// backpressure is an answer) after exactly Attempts tries.
+func TestDoRetryExhaustion(t *testing.T) {
+	slow := newSlowDetector()
+	srv, err := NewServer(Config{
+		Shards:          1,
+		QueueDepth:      1,
+		DetectorFactory: func() detector.Detector { return slow },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	filler := srv.InProcess()
+	defer filler.Close()
+	fillerResponses := recvAll(filler)
+	var q DetectRequest
+	tinyFrame(t, &q, 1)
+	if err := filler.Send(&q); err != nil {
+		t.Fatal(err)
+	}
+	<-slow.started
+	tinyFrame(t, &q, 2)
+	q.UserID = 2
+	if err := filler.Send(&q); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "backlog admission", func() bool { return srv.Metrics().Accepted == 2 })
+
+	cl := srv.InProcess()
+	defer cl.Close()
+	cl.SetRetryPolicy(RetryPolicy{Attempts: 3, Backoff: time.Millisecond, Seed: 11})
+	tinyFrame(t, &q, 3)
+	q.UserID = 3
+	var resp DetectResponse
+	retries, err := cl.DoRetry(&q, &resp)
+	if err != nil {
+		t.Fatalf("DoRetry: %v (exhaustion hands back the overloaded response, not an error)", err)
+	}
+	if resp.Status != StatusOverloaded {
+		t.Fatalf("status %v after exhaustion, want overloaded", resp.Status)
+	}
+	if retries != 2 {
+		t.Fatalf("retries %d, want 2 (three attempts total)", retries)
+	}
+	if snap := srv.Metrics(); snap.RejectedOverload != 3 {
+		t.Fatalf("rejected_overload %d, want 3", snap.RejectedOverload)
+	}
+
+	close(slow.gate)
+	_ = fillerResponses // drained on its own goroutine
+	waitFor(t, "admitted frames completed", func() bool { return srv.Metrics().Completed == 2 })
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDoRetryRedialsAfterTransportError: a DialRetry client whose
+// connection dies mid-session redials transparently and re-submits the
+// frame — safe because requests are idempotent by (UserID, FrameID).
+func TestDoRetryRedialsAfterTransportError(t *testing.T) {
+	slow := newSlowDetector()
+	close(slow.gate)
+	srv, err := NewServer(Config{Shards: 1, DetectorFactory: func() detector.Detector { return slow }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(lis) }()
+
+	cl, err := DialRetry(lis.Addr().String(), RetryPolicy{Attempts: 4, Backoff: time.Millisecond, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	var q DetectRequest
+	var resp DetectResponse
+	tinyFrame(t, &q, 1)
+	if retries, err := cl.DoRetry(&q, &resp); err != nil || retries != 0 {
+		t.Fatalf("healthy exchange: retries %d err %v", retries, err)
+	}
+
+	// Kill the connection out from under the client: the next DoRetry
+	// must fail over to a fresh dial instead of surfacing the dead conn.
+	cl.rwc.Close()
+	tinyFrame(t, &q, 2)
+	retries, err := cl.DoRetry(&q, &resp)
+	if err != nil {
+		t.Fatalf("DoRetry after a dead connection: %v", err)
+	}
+	if resp.Status != StatusOK || resp.FrameID != 2 {
+		t.Fatalf("status %v frame %d after redial, want ok frame 2", resp.Status, resp.FrameID)
+	}
+	if retries < 1 {
+		t.Fatalf("retries %d, want at least 1 (the first attempt died with the connection)", retries)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+}
+
+// TestDoRetryNoRedialWithoutAddr: a pipe-backed client cannot redial,
+// so a transport error surfaces immediately instead of spinning.
+func TestDoRetryNoRedialWithoutAddr(t *testing.T) {
+	slow := newSlowDetector()
+	close(slow.gate)
+	srv, err := NewServer(Config{Shards: 1, DetectorFactory: func() detector.Detector { return slow }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := srv.InProcess()
+	cl.SetRetryPolicy(RetryPolicy{Attempts: 5, Backoff: time.Millisecond})
+	cl.Close()
+	var q DetectRequest
+	var resp DetectResponse
+	tinyFrame(t, &q, 1)
+	start := time.Now()
+	if _, err := cl.DoRetry(&q, &resp); err == nil {
+		t.Fatal("DoRetry on a closed, non-dialable client returned success")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("DoRetry burned %v retrying a non-redialable transport error", elapsed)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDialRetryGivesUp: dialing a dead address fails after the
+// configured attempts with the underlying error, never a hang.
+func TestDialRetryGivesUp(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	lis.Close()
+	start := time.Now()
+	if _, err := DialRetry(addr, RetryPolicy{Attempts: 2, Backoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond}); err == nil {
+		t.Fatal("DialRetry to a closed port succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("DialRetry burned %v on 2 attempts with ms backoffs", elapsed)
+	}
+}
+
+// TestRetryJitterDeterministic: the jitter stream is a pure function of
+// the seed — two equally seeded policies back off identically, keeping
+// load-generator runs reproducible.
+func TestRetryJitterDeterministic(t *testing.T) {
+	a, b := uint64(99), uint64(99)
+	for i := 0; i < 16; i++ {
+		if splitmix(&a) != splitmix(&b) {
+			t.Fatalf("jitter streams with equal seeds diverged at draw %d", i)
+		}
+	}
+	c := uint64(100)
+	same := true
+	a = 99
+	for i := 0; i < 16; i++ {
+		if splitmix(&a) != splitmix(&c) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter streams")
+	}
+}

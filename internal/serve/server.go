@@ -3,7 +3,9 @@ package serve
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
 	"sync"
@@ -48,6 +50,41 @@ type Config struct {
 	// the server keys the coherence cache per user across frames; at
 	// ReuseThreshold 0 this is provably output-neutral (DESIGN.md §13).
 	DetectorFactory func() detector.Detector
+
+	// DegradeLadder lists descending N_PE rungs (e.g. 512→128→32 as
+	// {128, 32} under a full N_PE of 512) the pressure controller steps
+	// queued frames down as a shard's admission queue fills — FlexCore's
+	// flexibility knob entering the serve path as load shedding: lowering
+	// N_PE only relaxes the decision metric (the PR 2 monotonicity
+	// invariant), so a degraded frame is a coarser answer, never a
+	// corrupted one. Empty disables degradation. Entries must be positive
+	// and strictly decreasing; DegradeFactory is then required.
+	DegradeLadder []int
+	// DegradeFactory builds one detector at the given rung N_PE (one per
+	// worker per rung, same statefulness rule as DetectorFactory).
+	// Degraded frames never touch the per-user cross-frame reuse state:
+	// cached candidate paths are N_PE-specific, and keeping the rungs
+	// isolated preserves bit-identity with offline detection at both the
+	// full and the degraded N_PE.
+	DegradeFactory func(npe int) detector.Detector
+	// DegradeStart is the queue-fill fraction (waiting/QueueDepth) at
+	// which degradation begins; the ladder's rungs divide the remaining
+	// fill range evenly. Default 0.5.
+	DegradeStart float64
+
+	// ReadTimeout bounds the arrival of a frame's remainder once its
+	// header has been read: a peer that stalls mid-frame is disconnected
+	// (counted in ConnTimeouts) instead of pinning the connection
+	// goroutine. 0 disables.
+	ReadTimeout time.Duration
+	// IdleTimeout bounds the wait for the next frame header — the
+	// idle-connection reaper. 0 disables.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each flush of a connection's response writer: a
+	// peer that stops draining responses (slow-loris on the write side)
+	// is disconnected instead of wedging the shard worker holding the
+	// flush. 0 disables.
+	WriteTimeout time.Duration
 }
 
 // withDefaults resolves the zero-value knobs.
@@ -64,6 +101,9 @@ func (c Config) withDefaults() Config {
 	if c.UserStateCap <= 0 {
 		c.UserStateCap = 1024
 	}
+	if c.DegradeStart <= 0 || c.DegradeStart >= 1 {
+		c.DegradeStart = 0.5
+	}
 	return c
 }
 
@@ -75,7 +115,8 @@ type task struct {
 	req     DetectRequest
 	c       *serverConn
 	user    *userState
-	enq     time.Time // admit timestamp (latency metric only)
+	enq     time.Time // arrival timestamp (staleness budget + latency metric)
+	rung    int       // pressure-ladder rung chosen at dequeue (0 = full N_PE)
 	payload []byte    // response payload scratch
 	wire    []byte    // framed response scratch
 
@@ -118,13 +159,24 @@ type shard struct {
 	waitHWM int          // high-watermark of waiting since start
 }
 
+// lane is one degraded detection rung of a worker: its own detector at
+// the rung's N_PE plus the FrameDetector wrapping it. Lanes never see
+// per-user reuse state (cached candidate paths are N_PE-specific).
+type lane struct {
+	npe int
+	det detector.Detector
+	fd  *phy.FrameDetector
+}
+
 // shardWorker is one worker goroutine's state: its own detector and
-// FrameDetector (detectors are stateful), the write-coalescing dirty
-// list, and the op counters it publishes after every frame.
+// FrameDetector (detectors are stateful), the degradation lanes, the
+// write-coalescing dirty list, and the op counters it publishes after
+// every frame.
 type shardWorker struct {
 	det     detector.Detector
 	fd      *phy.FrameDetector
-	reuseOK bool // detector supports external reuse keying
+	reuseOK bool   // detector supports external reuse keying
+	lanes   []lane // one per DegradeLadder rung, full→coarse
 
 	// dirty lists the connections holding buffered responses this worker
 	// has not flushed yet. Flushed before the worker blocks on an empty
@@ -181,6 +233,16 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.DetectorFactory == nil {
 		return nil, fmt.Errorf("serve: Config.DetectorFactory is required")
 	}
+	if len(cfg.DegradeLadder) > 0 {
+		if cfg.DegradeFactory == nil {
+			return nil, fmt.Errorf("serve: Config.DegradeFactory is required with a DegradeLadder")
+		}
+		for i, npe := range cfg.DegradeLadder {
+			if npe <= 0 || (i > 0 && npe >= cfg.DegradeLadder[i-1]) {
+				return nil, fmt.Errorf("serve: Config.DegradeLadder must be positive and strictly decreasing")
+			}
+		}
+	}
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:   cfg,
@@ -206,6 +268,10 @@ func NewServer(cfg Config) (*Server, error) {
 			det := cfg.DetectorFactory()
 			w := &shardWorker{det: det, fd: phy.NewFrameDetector(det)}
 			w.reuseOK = w.fd.SetReuseState(nil)
+			for _, npe := range cfg.DegradeLadder {
+				ld := cfg.DegradeFactory(npe)
+				w.lanes = append(w.lanes, lane{npe: npe, det: ld, fd: phy.NewFrameDetector(ld)})
+			}
 			sh.workers[j] = w
 			s.workerWG.Add(1)
 			go s.runWorker(sh, w)
@@ -244,8 +310,12 @@ func (s *Server) runWorker(sh *shard, w *shardWorker) {
 			break
 		}
 		for t != nil {
-			s.begin(sh)
-			s.process(w, t)
+			s.begin(sh, t)
+			if s.expired(t) {
+				s.expire(t)
+			} else {
+				s.process(w, t)
+			}
 			s.buffer(w, t)
 			t = s.completeUser(sh, t)
 		}
@@ -253,6 +323,11 @@ func (s *Server) runWorker(sh *shard, w *shardWorker) {
 	s.flushDirty(w)
 	if c, ok := w.det.(interface{ Close() }); ok {
 		c.Close()
+	}
+	for i := range w.lanes {
+		if c, ok := w.lanes[i].det.(interface{ Close() }); ok {
+			c.Close()
+		}
 	}
 }
 
@@ -278,13 +353,77 @@ func (s *Server) nextTask(sh *shard, w *shardWorker) *task {
 	return t
 }
 
-// begin moves one frame from the admitted backlog into processing.
+// begin moves one frame from the admitted backlog into processing and
+// picks its pressure-ladder rung from the backlog depth it leaves
+// behind it — the degradation decision is made at dequeue, when the
+// queue state is current, not at admission, when it may be stale by a
+// whole backlog.
 //
 //flexcore:noalloc
-func (s *Server) begin(sh *shard) {
+func (s *Server) begin(sh *shard, t *task) {
 	sh.mu.Lock()
+	depth := sh.waiting
 	sh.waiting--
 	sh.mu.Unlock()
+	t.rung = s.rung(depth)
+}
+
+// rung maps an instantaneous queue depth to a DegradeLadder rung: 0
+// (full N_PE) below DegradeStart·QueueDepth, then the rungs divide the
+// remaining fill range evenly, with the coarsest rung reached as the
+// queue approaches capacity.
+//
+//flexcore:noalloc
+func (s *Server) rung(depth int) int {
+	n := len(s.cfg.DegradeLadder)
+	if n == 0 || depth <= 0 {
+		return 0
+	}
+	fill := float64(depth) / float64(s.cfg.QueueDepth)
+	start := s.cfg.DegradeStart
+	if fill < start {
+		return 0
+	}
+	if fill >= 1 {
+		return n
+	}
+	r := 1 + int((fill-start)*float64(n)/(1-start))
+	if r > n {
+		r = n
+	}
+	return r
+}
+
+// expired reports whether t's staleness budget elapsed while it sat in
+// the admitted backlog.
+func (s *Server) expired(t *task) bool {
+	return stale(t.enq, t.req.DeadlineMicros, time.Now()) //lint:ignore determinism wall-clock staleness shedding — an expired frame is answered StatusExpired, never detected, so decisions of served frames are unaffected
+}
+
+// stale reports whether a frame that arrived at enq with the given
+// staleness budget (µs, 0 = none) has aged out by now.
+//
+//flexcore:noalloc
+func stale(enq time.Time, budgetMicros uint64, now time.Time) bool {
+	if budgetMicros == 0 {
+		return false
+	}
+	age := now.Sub(enq)
+	return age > 0 && uint64(age/time.Microsecond) > budgetMicros
+}
+
+// expire answers an admitted frame whose budget elapsed in the queue
+// with a bare StatusExpired response — shedding the detection work
+// entirely. The frame still counts as completed (the accepted −
+// completed in-flight ledger must drain to zero) as well as expired.
+//
+//flexcore:noalloc
+func (s *Server) expire(t *task) {
+	t.payload = appendRespHeader(t.payload[:0], t.req.FrameID, StatusExpired, 0, 0, 0, 0)
+	t.wire = AppendFrame(t.wire[:0], MsgResult, t.payload)
+	s.met.expired.Add(1)
+	s.met.observe(time.Since(t.enq)) //lint:ignore determinism wall-clock latency metric only — the frame is already shed at this point
+	s.met.completed.Add(1)
 }
 
 // process runs the ingest→detect→respond hot path for one admitted
@@ -298,18 +437,26 @@ func (s *Server) begin(sh *shard) {
 //flexcore:noalloc
 func (s *Server) process(w *shardWorker, t *task) {
 	q := &t.req
-	if w.reuseOK && t.user != nil {
+	fd, npe := w.fd, 0
+	if t.rung > 0 && len(w.lanes) > 0 {
+		// Degraded rung: detect on the rung's own lane at its lower N_PE
+		// and report it in the response. Lanes never touch the per-user
+		// reuse state — cached candidate paths are N_PE-specific.
+		ln := &w.lanes[t.rung-1]
+		fd, npe = ln.fd, ln.npe
+		s.met.degraded.Add(1)
+	} else if w.reuseOK && t.user != nil {
 		w.fd.SetReuseState(&t.user.reuse)
 	}
-	t.payload = appendRespHeader(t.payload[:0], q.FrameID, StatusOK, q.Nt, q.Subcarriers, q.Symbols)
-	if err := w.fd.DetectFrame(q.H(), q.Sigma2, t.burst, t.emit); err != nil {
+	t.payload = appendRespHeader(t.payload[:0], q.FrameID, StatusOK, npe, q.Nt, q.Subcarriers, q.Symbols)
+	if err := fd.DetectFrame(q.H(), q.Sigma2, t.burst, t.emit); err != nil {
 		// Geometry was validated at decode time, so detector errors are
 		// unexpected — answer them as an explicit rejection, never a
 		// silent drop.
-		t.payload = appendRespHeader(t.payload[:0], q.FrameID, StatusInvalid, 0, 0, 0)
+		t.payload = appendRespHeader(t.payload[:0], q.FrameID, StatusInvalid, 0, 0, 0, 0)
 		s.met.rejectedInvalid.Add(1)
 	}
-	if w.reuseOK {
+	if npe == 0 && w.reuseOK {
 		w.fd.SetReuseState(nil)
 	}
 	t.wire = AppendFrame(t.wire[:0], MsgResult, t.payload)
@@ -327,10 +474,11 @@ func (s *Server) process(w *shardWorker, t *task) {
 func (s *Server) buffer(w *shardWorker, t *task) {
 	c := t.c
 	c.mu.Lock()
+	c.armWrite()
 	_, err := c.bw.Write(t.wire)
 	c.mu.Unlock()
 	if err != nil {
-		s.met.writeErrors.Add(1)
+		c.condemn(s, err)
 		return
 	}
 	w.dirty = append(w.dirty, c) //lint:ignore noalloc amortised: the dirty list reuses its high-water capacity across flush cycles
@@ -342,10 +490,11 @@ func (s *Server) buffer(w *shardWorker, t *task) {
 func (s *Server) flushDirty(w *shardWorker) {
 	for i, c := range w.dirty {
 		c.mu.Lock()
+		c.armWrite()
 		err := c.bw.Flush()
 		c.mu.Unlock()
 		if err != nil {
-			s.met.writeErrors.Add(1)
+			c.condemn(s, err)
 		}
 		w.dirty[i] = nil
 	}
@@ -390,6 +539,16 @@ func (s *Server) publish(w *shardWorker) {
 		pre = pr.PreprocessStats()
 	}
 	activeSum, activeN := w.fd.ActivePEs()
+	for i := range w.lanes {
+		ln := &w.lanes[i]
+		ops.Add(ln.det.OpCount())
+		if pr, ok := ln.det.(preprocessReporter); ok {
+			pre.Add(pr.PreprocessStats())
+		}
+		as, an := ln.fd.ActivePEs()
+		activeSum += as
+		activeN += an
+	}
 	w.mu.Lock()
 	w.ops = ops
 	w.pre = pre
@@ -403,6 +562,7 @@ func (s *Server) publish(w *shardWorker) {
 func (s *Server) release(t *task) {
 	t.c = nil
 	t.user = nil
+	t.rung = 0
 	s.taskPool.Put(t) //lint:ignore noalloc t is already a pointer — Put's any parameter boxes no value
 }
 
@@ -472,6 +632,15 @@ func (s *Server) admit(t *task) {
 		s.release(t)
 		return
 	}
+	if s.expired(t) {
+		// Already stale at admission (a tiny budget or an ingest stall):
+		// shed before the frame ever occupies queue capacity. Never
+		// counted accepted, so the in-flight ledger is untouched.
+		s.met.expired.Add(1)
+		t.c.reject(s, t.req.FrameID, StatusExpired)
+		s.release(t)
+		return
+	}
 	sh := s.shards[shardIndex(t.req.UserID, len(s.shards))]
 	sh.mu.Lock()
 	if sh.waiting >= s.cfg.QueueDepth {
@@ -514,10 +683,26 @@ const (
 
 // serverConn is one client connection: a buffered reader owned by the
 // connection goroutine and a mutex-serialised buffered writer shared
-// by the shard workers responding on it.
+// by the shard workers responding on it. When the transport supports
+// deadlines (net.Conn — TCP and net.Pipe both do), the configured
+// read/idle/write budgets are armed around the blocking spots so one
+// stalled peer can neither pin its connection goroutine nor wedge a
+// shard worker mid-flush.
 type serverConn struct {
 	rwc io.ReadWriteCloser
 	br  *bufio.Reader
+	dl  net.Conn      // non-nil when rwc supports deadlines
+	wt  time.Duration // write-stall budget per flush (0 = none)
+
+	// armed tracks whether a read deadline is currently set, so the
+	// disabled-timeout path never issues deadline syscalls. Touched only
+	// by the connection goroutine.
+	armed bool
+
+	// srvClosed records a server-initiated close (deadline expiry or
+	// write failure), so the connection goroutine's resulting read error
+	// is not miscounted as a peer framing fault.
+	srvClosed atomic.Bool
 
 	mu sync.Mutex
 	bw *bufio.Writer
@@ -527,12 +712,59 @@ type serverConn struct {
 	rejWire    []byte
 }
 
+// armRead sets (or, for d ≤ 0, clears) the connection's read deadline.
+func (c *serverConn) armRead(d time.Duration) {
+	if c.dl == nil {
+		return
+	}
+	if d <= 0 {
+		if c.armed {
+			c.dl.SetReadDeadline(time.Time{})
+			c.armed = false
+		}
+		return
+	}
+	c.dl.SetReadDeadline(time.Now().Add(d)) //lint:ignore determinism wall-clock connection hygiene only — detection results never depend on it
+	c.armed = true
+}
+
+// armWrite arms the write-stall deadline ahead of a buffered write or
+// flush. Called under c.mu.
+func (c *serverConn) armWrite() {
+	if c.dl == nil || c.wt <= 0 {
+		return
+	}
+	c.dl.SetWriteDeadline(time.Now().Add(c.wt)) //lint:ignore determinism wall-clock connection hygiene only — detection results never depend on it
+}
+
+// condemn closes a connection whose response path failed (write error
+// or write-stall timeout): the close unblocks the connection's reader,
+// so the whole conn winds down instead of accumulating per-response
+// stalls. Counted once per connection.
+func (c *serverConn) condemn(s *Server, err error) {
+	if c.srvClosed.Swap(true) {
+		return
+	}
+	if isTimeout(err) {
+		s.met.connTimeouts.Add(1)
+	}
+	s.met.writeErrors.Add(1)
+	c.rwc.Close()
+}
+
+// isTimeout reports whether err is a deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
 // write frames one response onto the connection and flushes immediately
 // (the rejection path: a rejected frame must never wait for detection
 // work to coalesce with).
 func (c *serverConn) write(frame []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.armWrite()
 	if _, err := c.bw.Write(frame); err != nil {
 		return err
 	}
@@ -543,33 +775,88 @@ func (c *serverConn) write(frame []byte) error {
 //
 //flexcore:noalloc
 func (c *serverConn) reject(s *Server, frameID uint64, st Status) {
-	c.rejPayload = appendRespHeader(c.rejPayload[:0], frameID, st, 0, 0, 0)
+	c.rejPayload = appendRespHeader(c.rejPayload[:0], frameID, st, 0, 0, 0, 0)
 	c.rejWire = AppendFrame(c.rejWire[:0], MsgResult, c.rejPayload)
 	if err := c.write(c.rejWire); err != nil {
-		s.met.writeErrors.Add(1)
+		c.condemn(s, err)
 	}
+}
+
+// readRequest reads one frame off the connection with the configured
+// hygiene deadlines armed around the two blocking spots: IdleTimeout
+// while waiting for the next header (the idle-connection reaper, which
+// also bounds a stalled partial header) and ReadTimeout for the
+// payload once a header has arrived (the slow-loris guard — a peer
+// that trickles a frame cannot pin the goroutine past it). It mirrors
+// wire.ReadFrame's buffer reuse and error contract, except that a
+// deadline expiry surfaces as the transport's timeout error so the
+// caller can classify it apart from peer framing faults.
+func (s *Server) readRequest(c *serverConn, buf []byte) (typ MsgType, payload, bufOut []byte, err error) {
+	if cap(buf) < headerSize {
+		buf = make([]byte, headerSize)
+	}
+	c.armRead(s.cfg.IdleTimeout)
+	if _, err := io.ReadFull(c.br, buf[:headerSize]); err != nil {
+		if err == io.EOF {
+			return 0, nil, buf, io.EOF
+		}
+		if isTimeout(err) {
+			return 0, nil, buf, err
+		}
+		return 0, nil, buf, ErrTruncated
+	}
+	typ, n, crc, err := parseHeader(buf[:headerSize])
+	if err != nil {
+		return 0, nil, buf, err
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	c.armRead(s.cfg.ReadTimeout)
+	if _, err := io.ReadFull(c.br, buf); err != nil {
+		if isTimeout(err) {
+			return 0, nil, buf, err
+		}
+		return 0, nil, buf, ErrTruncated
+	}
+	c.armRead(0)
+	if crc32.ChecksumIEEE(buf) != crc {
+		return 0, nil, buf, ErrChecksum
+	}
+	return typ, buf, buf, nil
 }
 
 // handleConn runs one connection's ingest loop: read a frame, decode
 // it into a pooled task, admit it. Payload-level errors are answered
 // with StatusInvalid and the connection survives; framing errors are
-// unrecoverable and close it.
+// unrecoverable and close it; hygiene-deadline expiries close it and
+// count in ConnTimeouts instead of BadFrames.
 func (s *Server) handleConn(rwc io.ReadWriteCloser) {
 	defer s.connWG.Done()
 	defer rwc.Close()
 	defer s.untrackConn(rwc)
-	c := &serverConn{rwc: rwc, br: bufio.NewReaderSize(rwc, connReadBuf), bw: bufio.NewWriterSize(rwc, connWriteBuf)}
+	c := &serverConn{rwc: rwc, br: bufio.NewReaderSize(rwc, connReadBuf), bw: bufio.NewWriterSize(rwc, connWriteBuf), wt: s.cfg.WriteTimeout}
+	if nc, ok := rwc.(net.Conn); ok {
+		c.dl = nc
+	}
 	var buf []byte
 	for {
-		typ, payload, nbuf, err := ReadFrame(c.br, buf)
+		typ, payload, nbuf, err := s.readRequest(c, buf)
 		buf = nbuf
 		if err != nil {
 			// A non-EOF error after Shutdown's force-close phase is the
 			// server unblocking its own reader (the peer's FIN may still
 			// be in flight when the fd closes locally), not a peer
-			// framing fault — only count bad frames while the connection
-			// table is live.
-			if err != io.EOF && !s.forceClosed() {
+			// framing fault; the same goes for a connection the response
+			// path already condemned. Deadline expiries are the hygiene
+			// layer reaping a stalled peer. Only genuine framing faults
+			// count as bad frames.
+			switch {
+			case err == io.EOF || s.forceClosed() || c.srvClosed.Load():
+			case isTimeout(err):
+				s.met.connTimeouts.Add(1)
+			default:
 				s.met.badFrames.Add(1)
 			}
 			return

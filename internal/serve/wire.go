@@ -19,10 +19,16 @@
 // kernel backend (reuse is held at ReuseThreshold 0, where hits
 // require a bit-identical (R, σ²) and are provably output-neutral).
 // The e2e and ordering suites (e2e_test.go, order_test.go) enforce
-// exactly that contract, plus per-user FIFO completion. The wire
-// format itself is unchanged from PR 7: batching happens at the
-// bufio/flush layer on both ends, so frames simply arrive
-// back-to-back in one segment — nothing for the codec to know.
+// exactly that contract, plus per-user FIFO completion. Batching
+// happens at the bufio/flush layer on both ends, so frames simply
+// arrive back-to-back in one segment — nothing for the codec to know.
+//
+// Overload handling is graded (DESIGN.md §14): requests may carry a
+// staleness budget (expired frames are shed with StatusExpired), a
+// per-shard pressure controller steps queued frames down a configured
+// N_PE ladder before admission control resorts to StatusOverloaded,
+// and per-connection read/write deadlines keep one stalled peer from
+// wedging a shard's ingest or response path.
 package serve
 
 import (
@@ -35,7 +41,7 @@ import (
 // The wire format is a stream of length-prefixed frames:
 //
 //	offset  size  field
-//	0       4     magic "FXS1"
+//	0       4     magic "FXS2"
 //	4       1     message type (MsgDetect | MsgResult)
 //	5       1     reserved, must be zero
 //	6       4     payload length N (big-endian, ≤ MaxPayload)
@@ -54,8 +60,12 @@ const (
 	MaxPayload = 8 << 20
 )
 
-// magic identifies a FlexCore serve frame ("FXS" + format version 1).
-var magic = [4]byte{'F', 'X', 'S', '1'}
+// magic identifies a FlexCore serve frame ("FXS" + format version).
+// Version 2 added the request deadline budget, the response served-N_PE
+// field and StatusExpired; v1 and v2 frames are mutually rejected at
+// the header check, so a version-skewed peer fails fast instead of
+// misparsing payloads.
+var magic = [4]byte{'F', 'X', 'S', '2'}
 
 // MsgType is the wire frame type.
 type MsgType uint8

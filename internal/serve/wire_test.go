@@ -166,6 +166,7 @@ func TestReadFrameReusesBuffer(t *testing.T) {
 func fillRequest(t testing.TB, q *DetectRequest, nr, nt, k, s int) {
 	t.Helper()
 	q.UserID, q.FrameID, q.Sigma2 = 42, 7, 0.25
+	q.DeadlineMicros = 1500
 	if err := q.SetGeometry(nr, nt, k, s); err != nil {
 		t.Fatal(err)
 	}
@@ -193,6 +194,9 @@ func TestRequestPayloadRoundTrip(t *testing.T) {
 	}
 	if got.Nr != q.Nr || got.Nt != q.Nt || got.Subcarriers != q.Subcarriers || got.Symbols != q.Symbols {
 		t.Fatal("geometry mismatch")
+	}
+	if got.DeadlineMicros != q.DeadlineMicros {
+		t.Fatalf("deadline mismatch: got %d, want %d", got.DeadlineMicros, q.DeadlineMicros)
 	}
 	for k, h := range got.H() {
 		want := q.H()[k]
@@ -308,14 +312,33 @@ func TestResponsePayloadRoundTrip(t *testing.T) {
 	if got.Decision(2, 1, 1) != 11 {
 		t.Fatalf("Decision(2,1,1) = %d, want 11", got.Decision(2, 1, 1))
 	}
+	// A degraded OK response reports its served N_PE through the codec.
+	deg := r
+	deg.ServedNPE = 32
+	var gotDeg DetectResponse
+	if err := gotDeg.Decode(deg.AppendPayload(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if gotDeg.ServedNPE != 32 {
+		t.Fatalf("ServedNPE = %d, want 32", gotDeg.ServedNPE)
+	}
 	// A bare rejection carries zero geometry and no decisions.
-	rej := appendRespHeader(nil, 5, StatusOverloaded, 0, 0, 0)
+	rej := appendRespHeader(nil, 5, StatusOverloaded, 0, 0, 0, 0)
 	var gotRej DetectResponse
 	if err := gotRej.Decode(rej); err != nil {
 		t.Fatal(err)
 	}
 	if gotRej.FrameID != 5 || gotRej.Status != StatusOverloaded || len(gotRej.Decisions) != 0 {
 		t.Fatal("rejection decode mismatch")
+	}
+	// An expired shed is a bare status response like any rejection.
+	exp := appendRespHeader(nil, 6, StatusExpired, 0, 0, 0, 0)
+	var gotExp DetectResponse
+	if err := gotExp.Decode(exp); err != nil {
+		t.Fatal(err)
+	}
+	if gotExp.FrameID != 6 || gotExp.Status != StatusExpired || gotExp.ServedNPE != 0 {
+		t.Fatal("expired decode mismatch")
 	}
 }
 
@@ -324,7 +347,7 @@ func TestResponseDecodeErrors(t *testing.T) {
 		FrameID: 1, Status: StatusOK, Nt: 1, Subcarriers: 1, Symbols: 1,
 		Decisions: []uint16{3},
 	}).AppendPayload(nil)
-	rej := appendRespHeader(nil, 1, StatusDraining, 0, 0, 0)
+	rej := appendRespHeader(nil, 1, StatusDraining, 0, 0, 0, 0)
 
 	mutate := func(base []byte, f func(p []byte)) []byte {
 		p := append([]byte(nil), base...)
@@ -340,6 +363,7 @@ func TestResponseDecodeErrors(t *testing.T) {
 		{"unknown status", mutate(rej, func(p []byte) { p[8] = byte(statusMax) + 1 })},
 		{"nonzero reserved", mutate(ok, func(p []byte) { p[9] = 1 })},
 		{"rejection with geometry", mutate(rej, func(p []byte) { p[11] = 1 })},
+		{"rejection with served npe", mutate(rej, func(p []byte) { p[19] = 1 })},
 		{"rejection with trailing bytes", append(append([]byte(nil), rej...), 0, 0)},
 		{"ok with zero geometry", mutate(ok, func(p []byte) {
 			binary.BigEndian.PutUint16(p[10:12], 0)
@@ -364,7 +388,7 @@ func TestStatusString(t *testing.T) {
 	for st, want := range map[Status]string{
 		StatusOK: "ok", StatusOverloaded: "overloaded",
 		StatusDraining: "draining", StatusInvalid: "invalid",
-		Status(200): "unknown",
+		StatusExpired: "expired", Status(200): "unknown",
 	} {
 		if got := st.String(); got != want {
 			t.Fatalf("Status(%d).String() = %q, want %q", st, got, want)
