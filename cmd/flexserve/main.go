@@ -111,6 +111,7 @@ func main() {
 
 	if *metricsAddr != "" {
 		hs := newMetricsServer(*metricsAddr, newMetricsMux(srv, *pprof))
+		//lint:ignore waitdiscipline process-lifetime sidecar: the metrics endpoint serves until the process exits; there is no drain point to join it at
 		go func() {
 			if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintf(os.Stderr, "flexserve: metrics endpoint: %v\n", err)
@@ -120,6 +121,7 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	//lint:ignore waitdiscipline signal-lifetime: Shutdown here is what unblocks ListenAndServe below, so the goroutine cannot be joined before the serve loop exits; it ends with the process
 	go func() {
 		<-ctx.Done()
 		fmt.Fprintln(os.Stderr, "flexserve: draining…")

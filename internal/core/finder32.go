@@ -106,7 +106,7 @@ func (f *pathFinder32) find(m *Model, nPE int, stopThreshold float64) ([]Path, P
 	if float64(nPE) > total {
 		nPE = int(total)
 	}
-	f.ensure(n, nPE) //lint:ignore noalloc amortised: the inlined arena helper allocates only when the search shape changes
+	f.ensure(n, nPE)
 
 	// Per-level float32 log-probabilities, the root product and the
 	// child ordering: levels sorted by descending logPe, stable in the

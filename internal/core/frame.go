@@ -353,7 +353,7 @@ func (d *FlexCore) PrepareAll(hs []*cmatrix.Matrix, sigma2 float64) error {
 	}
 	d.ppOps.CumulativeProb = frame[len(frame)-1].cum
 	if d.opts.PathReuse && ext != nil {
-		ext.update(frame, sigma2) //lint:ignore noalloc amortised: state arenas regrow only past their high-water mark
+		ext.update(frame, sigma2)
 	}
 	return nil
 }

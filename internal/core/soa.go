@@ -48,7 +48,7 @@ func (d *FlexCore) soaRefresh() {
 		return
 	}
 	if d.soa.slicer == nil {
-		d.soa.slicer = kernel32.NewSlicer32(d.cons) //lint:ignore noalloc amortised: the slicer is immutable and built once per detector
+		d.soa.slicer = kernel32.NewSlicer32(d.cons)
 	}
 	d.soa.prep.SetChannel(d.qr.R, 1/d.cons.Scale())
 	P := len(d.paths)

@@ -128,13 +128,31 @@ const ignorePrefix = "lint:ignore"
 // suppressions maps file → line → set of silenced analyzer names.
 type suppressions map[string]map[int]map[string]bool
 
+// SuppressionEntry is one parsed //lint:ignore comment — the auditable
+// record behind flexlint -suppressions.
+type SuppressionEntry struct {
+	// File is the file holding the comment.
+	File string
+	// Line is the line the comment silences (the next line for a
+	// stand-alone comment, its own for an end-of-line one).
+	Line int
+	// CommentLine is the comment's own line (what an editor jumps to).
+	CommentLine int
+	// Analyzers are the silenced analyzer names.
+	Analyzers []string
+	// Reason is the mandatory justification text.
+	Reason string
+}
+
 // collectSuppressions scans the comments of a parsed file and returns
-// the line-level suppression table plus diagnostics for malformed
-// ignore comments. src is the file's source, used to decide whether a
-// suppression comment shares its line with code (silences that line) or
-// stands alone (silences the next line).
-func collectSuppressions(fset *token.FileSet, file *ast.File, src []byte) (suppressions, []Diagnostic) {
+// the line-level suppression table, the parsed entries (for the
+// suppressions audit) and diagnostics for malformed ignore comments.
+// src is the file's source, used to decide whether a suppression
+// comment shares its line with code (silences that line) or stands
+// alone (silences the next line).
+func collectSuppressions(fset *token.FileSet, file *ast.File, src []byte) (suppressions, []SuppressionEntry, []Diagnostic) {
 	sup := suppressions{}
+	var entries []SuppressionEntry
 	var bad []Diagnostic
 	lines := strings.Split(string(src), "\n")
 	for _, group := range file.Comments {
@@ -174,12 +192,21 @@ func collectSuppressions(fset *token.FileSet, file *ast.File, src []byte) (suppr
 				set = map[string]bool{}
 				m[line] = set
 			}
-			for _, n := range strings.Split(names, ",") {
-				set[strings.TrimSpace(n)] = true
+			entry := SuppressionEntry{
+				File:        pos.Filename,
+				Line:        line,
+				CommentLine: pos.Line,
+				Reason:      strings.TrimSpace(reason),
 			}
+			for _, n := range strings.Split(names, ",") {
+				n = strings.TrimSpace(n)
+				set[n] = true
+				entry.Analyzers = append(entry.Analyzers, n)
+			}
+			entries = append(entries, entry)
 		}
 	}
-	return sup, bad
+	return sup, entries, bad
 }
 
 // merge folds other into s.

@@ -39,6 +39,7 @@ type Module struct {
 	Pkgs []*Package // dependency order
 
 	sup     suppressions
+	supEnts []SuppressionEntry
 	supDiag []Diagnostic
 	supOnce sync.Once
 }
@@ -158,26 +159,42 @@ func (m *Module) matchOne(pkg *Package, pat string) bool {
 	return rel == pat || pkg.Path == pat
 }
 
-// Suppressions returns the module-wide suppression table plus the
-// diagnostics for malformed ignore comments, computed once.
-func (m *Module) Suppressions() (suppressions, []Diagnostic) {
+// Suppressions returns the module-wide suppression table, the parsed
+// //lint:ignore entries and the diagnostics for malformed ignore
+// comments, computed once.
+func (m *Module) Suppressions() (suppressions, []SuppressionEntry, []Diagnostic) {
 	m.supOnce.Do(func() {
 		m.sup = suppressions{}
 		for _, pkg := range m.Pkgs {
 			for i, f := range pkg.Files {
-				s, bad := collectSuppressions(m.Fset, f, pkg.Src[pkg.Names[i]])
+				s, ents, bad := collectSuppressions(m.Fset, f, pkg.Src[pkg.Names[i]])
 				m.sup.merge(s)
+				m.supEnts = append(m.supEnts, ents...)
 				m.supDiag = append(m.supDiag, bad...)
 			}
 		}
+		sort.Slice(m.supEnts, func(i, j int) bool {
+			a, b := m.supEnts[i], m.supEnts[j]
+			if a.File != b.File {
+				return a.File < b.File
+			}
+			return a.Line < b.Line
+		})
 	})
-	return m.sup, m.supDiag
+	return m.sup, m.supEnts, m.supDiag
+}
+
+// SuppressionEntries returns every //lint:ignore comment of the
+// module, sorted by file and line.
+func (m *Module) SuppressionEntries() []SuppressionEntry {
+	_, ents, _ := m.Suppressions()
+	return ents
 }
 
 // FilterSuppressed drops the diagnostics silenced by //lint:ignore
 // comments anywhere in the module and sorts the remainder.
 func (m *Module) FilterSuppressed(ds []Diagnostic) []Diagnostic {
-	sup, _ := m.Suppressions()
+	sup, _, _ := m.Suppressions()
 	out := sup.filter(ds)
 	sortDiagnostics(out)
 	return out

@@ -1,11 +1,21 @@
 package lint
 
+import "strconv"
+
 // Run executes the analyzers over the packages of mod selected by
 // patterns (nil = every package), applies //lint:ignore suppressions
 // and returns the surviving diagnostics sorted by position. Malformed
 // suppression comments in the analyzed packages are reported under the
 // "lint" analyzer name and cannot themselves be suppressed.
 func Run(mod *Module, patterns []string, analyzers []*Analyzer) []Diagnostic {
+	return mod.FilterSuppressed(RunRaw(mod, patterns, analyzers))
+}
+
+// RunRaw executes the analyzers like Run but keeps every diagnostic,
+// including ones a //lint:ignore would silence — the substrate of the
+// suppressions audit, which needs to know whether an ignore still has
+// a finding under it.
+func RunRaw(mod *Module, patterns []string, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	selected := mod.Match(patterns)
 	selectedSet := map[string]bool{}
@@ -28,13 +38,13 @@ func Run(mod *Module, patterns []string, analyzers []*Analyzer) []Diagnostic {
 			a.Run(pass)
 		}
 	}
-	_, bad := mod.Suppressions()
+	_, _, bad := mod.Suppressions()
 	for _, d := range bad {
 		if selectedSet[pkgPathForFile(mod, d.Pos.Filename)] {
 			diags = append(diags, d)
 		}
 	}
-	return mod.FilterSuppressed(diags)
+	return diags
 }
 
 // pkgPathForFile maps a file name back to its package import path.
@@ -48,8 +58,58 @@ func pkgPathForFile(mod *Module, filename string) string {
 }
 
 // DefaultAnalyzers returns the analyzer suite flexlint ships: the
-// repository's determinism, zero-allocation, float-comparison, pool-
-// discipline and OpCount-accounting contracts.
+// repository's determinism, zero-allocation, float-comparison,
+// pool-discipline and OpCount-accounting contracts for the compute
+// path, plus the concurrency and wire-protocol contracts of the
+// serving layer (lock scope, goroutine joining, conn deadline arming,
+// status-switch exhaustiveness, wire-offset tiling).
 func DefaultAnalyzers() []*Analyzer {
-	return []*Analyzer{Noalloc, Determinism, Floatcmp, Pooldiscipline, Opcount}
+	return []*Analyzer{
+		Noalloc, Determinism, Floatcmp, Pooldiscipline, Opcount,
+		Lockscope, Waitdiscipline, Timeoutguard, Statuscase, Wireoffset,
+	}
+}
+
+// SuppressionAudit classifies one //lint:ignore comment: Active when
+// at least one raw (pre-suppression) diagnostic still lands on the
+// line and analyzer it silences, stale otherwise. Stale ignores are
+// worse than dead code — they pre-silence future findings at that
+// line — so flexlint -suppressions reports them and exits nonzero.
+type SuppressionAudit struct {
+	Entry  SuppressionEntry
+	Active bool
+}
+
+// AuditSuppressions audits every suppression comment in the packages
+// selected by patterns against the raw findings of the analyzers plus
+// any extra raw diagnostics (the -escapes side when enabled).
+func AuditSuppressions(mod *Module, patterns []string, analyzers []*Analyzer, extra []Diagnostic) []SuppressionAudit {
+	raw := append(RunRaw(mod, patterns, analyzers), extra...)
+	hit := map[string]bool{}
+	for _, d := range raw {
+		hit[suppressionKey(d.Pos.Filename, d.Pos.Line, d.Analyzer)] = true
+	}
+	selected := map[string]bool{}
+	for _, pkg := range mod.Match(patterns) {
+		selected[pkg.Path] = true
+	}
+	var out []SuppressionAudit
+	for _, e := range mod.SuppressionEntries() {
+		if !selected[pkgPathForFile(mod, e.File)] {
+			continue
+		}
+		active := false
+		for _, a := range e.Analyzers {
+			if hit[suppressionKey(e.File, e.Line, a)] {
+				active = true
+				break
+			}
+		}
+		out = append(out, SuppressionAudit{Entry: e, Active: active})
+	}
+	return out
+}
+
+func suppressionKey(file string, line int, analyzer string) string {
+	return file + "\x00" + analyzer + "\x00" + strconv.Itoa(line)
 }

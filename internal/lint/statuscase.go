@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Statuscase keeps every switch over the wire Status type exhaustive:
+// a switch whose tag has the named type Status must either list every
+// Status constant its defining package declares or carry a default
+// clause. The wire protocol grows codes over time (StatusExpired
+// arrived in PR 9); without this check a new code silently falls
+// through client, load-generator and metrics switches and is counted
+// as nothing at all. The check is value-based (two names for one value
+// count once) and gives up only when a case arm is non-constant —
+// exhaustiveness is then not statically decidable.
+var Statuscase = &Analyzer{
+	Name: "statuscase",
+	Doc:  "switches over the wire Status type must be exhaustive or carry default",
+	Run:  runStatuscase,
+}
+
+func runStatuscase(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkStatusSwitch(pass, sw)
+			return true
+		})
+	}
+}
+
+func checkStatusSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	tagType := pass.TypeOf(sw.Tag)
+	named := namedStatusType(tagType)
+	if named == nil {
+		return
+	}
+	// Every package-level constant of exactly this type, by value
+	// (aliased names for one value need only one case between them).
+	constants := map[string][]string{} // exact value → names
+	scope := named.Obj().Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		key := c.Val().ExactString()
+		constants[key] = append(constants[key], c.Name())
+	}
+	if len(constants) == 0 {
+		return
+	}
+	covered := map[string]bool{}
+	for _, cl := range sw.Body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // default clause: future codes have a landing place
+		}
+		for _, e := range cc.List {
+			tv, ok := pass.Info.Types[e]
+			if !ok || tv.Value == nil {
+				return // non-constant arm: coverage is not decidable
+			}
+			covered[tv.Value.ExactString()] = true
+		}
+	}
+	var missing []string
+	for val, names := range constants {
+		if !covered[val] {
+			sort.Strings(names)
+			missing = append(missing, names[0])
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	pass.Reportf(sw.Switch, "switch on %s does not handle %s — add the missing cases or a default so new status codes cannot fall through silently",
+		named.Obj().Name(), strings.Join(missing, ", "))
+}
+
+// namedStatusType returns the named type when t is (an alias of) a
+// type literally named "Status" with an integer underlying type — the
+// wire status convention this analyzer guards.
+func namedStatusType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok || n.Obj().Name() != "Status" || n.Obj().Pkg() == nil {
+		return nil
+	}
+	b, ok := n.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsInteger == 0 {
+		return nil
+	}
+	return n
+}

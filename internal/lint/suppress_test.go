@@ -10,6 +10,12 @@ import (
 
 func parseForSuppressions(t *testing.T, src string) (suppressions, []Diagnostic) {
 	t.Helper()
+	sup, _, bad := parseForEntries(t, src)
+	return sup, bad
+}
+
+func parseForEntries(t *testing.T, src string) (suppressions, []SuppressionEntry, []Diagnostic) {
+	t.Helper()
 	fset := token.NewFileSet()
 	file, err := parser.ParseFile(fset, "s.go", src, parser.ParseComments)
 	if err != nil {
@@ -85,6 +91,33 @@ func TestFilterNeverDropsFrameworkDiags(t *testing.T) {
 	out := sup.filter(ds)
 	if len(out) != 1 || out[0].Analyzer != "lint" {
 		t.Errorf("framework diagnostics must survive suppression, got %v", out)
+	}
+}
+
+func TestSuppressionEntries(t *testing.T) {
+	_, ents, bad := parseForEntries(t, `package p
+
+func f() int {
+	//lint:ignore determinism,floatcmp standalone reason
+	x := g()
+	return x + h() //lint:ignore noalloc inline reason
+}
+`)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected malformed diags: %v", bad)
+	}
+	if len(ents) != 2 {
+		t.Fatalf("want 2 entries, got %d: %v", len(ents), ents)
+	}
+	e0 := ents[0]
+	if e0.Line != 5 || e0.CommentLine != 4 || e0.Reason != "standalone reason" ||
+		len(e0.Analyzers) != 2 || e0.Analyzers[0] != "determinism" || e0.Analyzers[1] != "floatcmp" {
+		t.Errorf("standalone entry wrong: %+v", e0)
+	}
+	e1 := ents[1]
+	if e1.Line != 6 || e1.CommentLine != 6 || e1.Reason != "inline reason" ||
+		len(e1.Analyzers) != 1 || e1.Analyzers[0] != "noalloc" {
+		t.Errorf("inline entry wrong: %+v", e1)
 	}
 }
 

@@ -46,7 +46,7 @@ func capture(start int) func() int {
 
 //flexcore:noalloc
 func spawn(f func()) {
-	go f() // want "go statement allocates a goroutine"
+	go f() // want "go statement allocates a goroutine" "goroutine spawns a function this package cannot see into"
 }
 
 //flexcore:noalloc

@@ -1,0 +1,70 @@
+package serve
+
+// Status mirrors the wire status convention: a named integer type with
+// package-level constants. statuscase keys on the type name.
+type Status uint8
+
+const (
+	StatusOK   Status = 0
+	StatusBusy Status = 1
+	StatusGone Status = 2
+
+	// StatusFinal aliases StatusGone by value: one case covers both.
+	StatusFinal Status = 2
+)
+
+// exhaustive lists every distinct value — clean.
+func exhaustive(s Status) string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusBusy:
+		return "busy"
+	case StatusGone:
+		return "gone"
+	}
+	return "unknown"
+}
+
+// defaulted gives future codes a landing place — clean.
+func defaulted(s Status) int {
+	switch s {
+	case StatusOK:
+		return 0
+	default:
+		return 1
+	}
+}
+
+// missing drops StatusGone: the canonical deliberately-broken case.
+func missing(s Status) int {
+	switch s { // want "switch on Status does not handle StatusFinal"
+	case StatusOK:
+		return 0
+	case StatusBusy:
+		return 1
+	}
+	return 2
+}
+
+// nonConstantArm makes coverage statically undecidable — the analyzer
+// gives up rather than guess.
+func nonConstantArm(s, boundary Status) int {
+	switch s {
+	case boundary:
+		return 0
+	case StatusOK:
+		return 1
+	}
+	return 2
+}
+
+// suppressedSwitch documents a deliberate partial switch.
+func suppressedSwitch(s Status) bool {
+	//lint:ignore statuscase fixture: only terminal codes matter here, everything else falls through
+	switch s {
+	case StatusGone:
+		return true
+	}
+	return false
+}

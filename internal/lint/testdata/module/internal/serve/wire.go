@@ -1,0 +1,95 @@
+package serve
+
+import "encoding/binary"
+
+// Wire sizes for the wireoffset fixtures.
+const (
+	hdrSize  = 8
+	tinySize = 4
+)
+
+// encodeGood tiles [0,8) exactly: u32 id, u16 count, flag, version.
+//
+//flexcore:wire b hdrSize
+func encodeGood(b []byte, id uint32, n uint16, flag, ver byte) {
+	binary.BigEndian.PutUint32(b[0:4], id)
+	binary.BigEndian.PutUint16(b[4:6], n)
+	b[6] = flag
+	b[7] = ver
+}
+
+// decodeGood re-reads the id field to validate before decoding: a
+// repeated access to the same interval is one field, not an overlap.
+//
+//flexcore:wire b hdrSize
+func decodeGood(b []byte) (uint32, uint16, byte, byte) {
+	if binary.BigEndian.Uint32(b[0:4]) == 0 {
+		return 0, 0, 0, 0
+	}
+	id := binary.BigEndian.Uint32(b[0:4])
+	n := binary.BigEndian.Uint16(b[4:6])
+	return id, n, b[6], b[7]
+}
+
+// encodeOverlap claims byte 3 twice: the canonical deliberately-broken
+// case — encoder and decoder cannot agree on where the count lives.
+//
+//flexcore:wire b hdrSize
+func encodeOverlap(b []byte, id uint32, n uint16) {
+	binary.BigEndian.PutUint32(b[0:4], id)
+	binary.BigEndian.PutUint16(b[3:5], n) // want "overlaps the preceding field"
+	b[5] = 0
+	binary.BigEndian.PutUint16(b[6:8], n)
+}
+
+// encodeGap leaves bytes [4,6) untouched.
+//
+//flexcore:wire b hdrSize
+func encodeGap(b []byte, id uint32, n uint16) {
+	binary.BigEndian.PutUint32(b[0:4], id)
+	binary.BigEndian.PutUint16(b[6:8], n) // want "the layout has a gap"
+}
+
+// encodePast writes one byte beyond the declared frame.
+//
+//flexcore:wire b tinySize
+func encodePast(b []byte, id uint32) {
+	binary.BigEndian.PutUint32(b[0:4], id)
+	b[4] = 1 // want "runs past the declared size"
+}
+
+// encodeShort stops half way: the tail of the frame is never written.
+//
+//flexcore:wire b hdrSize
+func encodeShort(b []byte, id uint32) {
+	binary.BigEndian.PutUint32(b[0:4], id) // want "cover only"
+}
+
+// encodeSuppressed documents a deliberate overlap (a union field).
+//
+//flexcore:wire b hdrSize
+func encodeSuppressed(b []byte, id uint32, n uint16) {
+	binary.BigEndian.PutUint32(b[0:4], id)
+	binary.BigEndian.PutUint16(b[3:5], n) //lint:ignore wireoffset fixture: union field, the tag in byte 3 selects the interpretation
+	b[5] = 0
+	binary.BigEndian.PutUint16(b[6:8], n)
+}
+
+// encodeVariableTail: the non-constant tail access is outside the
+// header tiling and ignored.
+//
+//flexcore:wire b hdrSize
+func encodeVariableTail(b []byte, id uint32, n uint16, off int, payload []byte) {
+	binary.BigEndian.PutUint32(b[0:4], id)
+	binary.BigEndian.PutUint16(b[4:6], n)
+	b[6] = 0
+	b[7] = 0
+	copy(b[off:], payload)
+}
+
+// badDirective is missing its size operand.
+//
+//flexcore:wire b // want "malformed"
+func badDirective(b []byte) {
+	b[0] = 1
+}

@@ -1,0 +1,108 @@
+// Package waitjoin is the waitdiscipline fixture: fire-and-forget
+// goroutines versus the two joined shapes (WaitGroup.Add/Done and a
+// done-channel the spawner waits on).
+package waitjoin
+
+import "sync"
+
+// leak is the canonical deliberately-broken case: nobody ever learns
+// this goroutine finished.
+func leak(work func() int) {
+	go func() { // want "goroutine is never joined"
+		work()
+	}()
+}
+
+// leakNamed spawns a same-package function with no join protocol.
+func leakNamed() {
+	go helper() // want "goroutine is never joined"
+}
+
+func helper() {}
+
+// leakOpaque spawns through a function value the analyzer cannot
+// resolve.
+func leakOpaque(f func()) {
+	go f() // want "goroutine spawns a function this package cannot see into"
+}
+
+// waitGroupJoined is the Add/Done handshake.
+func waitGroupJoined(parts []int) int {
+	var wg sync.WaitGroup
+	total := make([]int, len(parts))
+	for i, p := range parts {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			total[i] = p * p
+		}()
+	}
+	wg.Wait()
+	sum := 0
+	for _, v := range total {
+		sum += v
+	}
+	return sum
+}
+
+// methodJoined spawns a method whose body marks Done — resolution
+// through the package declaration index.
+type runner struct {
+	wg sync.WaitGroup
+}
+
+func (r *runner) run() { defer r.wg.Done() }
+
+func (r *runner) start() {
+	r.wg.Add(1)
+	go r.run()
+	r.wg.Wait()
+}
+
+// doneChannelJoined signals completion by closing a channel the
+// spawner selects on.
+func doneChannelJoined(work func()) {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	<-done
+}
+
+// sendJoined signals by sending the result; the spawner receives it.
+func sendJoined(work func() int) int {
+	res := make(chan int, 1)
+	go func() {
+		res <- work()
+	}()
+	return <-res
+}
+
+// rangeJoined: a fan-in closer goroutine joined by the spawner
+// draining the results channel to close.
+func rangeJoined(parts []int) int {
+	var wg sync.WaitGroup
+	results := make(chan int)
+	for _, p := range parts {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results <- p
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+	sum := 0
+	for v := range results {
+		sum += v
+	}
+	return sum
+}
+
+// suppressed documents a process-lifetime goroutine.
+func suppressed(serve func()) {
+	go serve() //lint:ignore waitdiscipline fixture: process-lifetime sidecar, exits with the process
+}

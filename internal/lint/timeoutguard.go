@@ -1,0 +1,246 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Timeoutguard turns PR 9's connection hygiene into a contract: inside
+// internal/serve, every read or write that can touch a connection — a
+// Read/Write on a deadline-capable conn, a bufio fill/flush, an
+// io.ReadFull, or a call into a same-package helper that does those on
+// a conn-ish argument — must be dominated on every path by a deadline
+// arming call (SetReadDeadline/SetDeadline for reads,
+// SetWriteDeadline/SetDeadline for writes, directly or through a
+// same-package arming helper such as armRead/armWrite). A single
+// unarmed site hands one stalled peer the power to wedge a shard's
+// ingest or response path forever. The domination check is
+// path-sensitive (must-facts of the flow walker): arming on one branch
+// only does not cover the other.
+//
+// Methods whose receiver is itself deadline-capable are exempt: a conn
+// wrapper (fault injector, middleware) delegating Read/Write is the
+// conn — its deadlines are armed by whoever owns it.
+var Timeoutguard = &Analyzer{
+	Name:     "timeoutguard",
+	Doc:      "conn reads/writes in internal/serve must be deadline-armed on every path",
+	Packages: []string{"internal/serve"},
+	Run:      runTimeoutguard,
+}
+
+// Must-fact keys: "armed read deadline" / "armed write deadline".
+const (
+	armedRead  = "read"
+	armedWrite = "write"
+)
+
+func runTimeoutguard(pass *Pass) {
+	idx := declIndex(pass)
+	readArm, writeArm := armingFuncs(pass, idx)
+	for _, file := range pass.Files {
+		funcScopes(file, func(decl *ast.FuncDecl, lit *ast.FuncLit, body *ast.BlockStmt) {
+			// Conn wrappers delegate; their receiver IS the conn.
+			if lit == nil && declRecvDeadlineCapable(pass, decl) {
+				return
+			}
+			checkDeadlineArming(pass, body, idx, readArm, writeArm)
+		})
+	}
+}
+
+func checkDeadlineArming(pass *Pass, body *ast.BlockStmt, idx map[*types.Func]*ast.FuncDecl, readArm, writeArm map[*types.Func]bool) {
+	hooks := &flowHooks{
+		onCall: func(call *ast.CallExpr, deferred bool, f *flowFacts) {
+			if deferred {
+				return
+			}
+			// Arming transitions first: an arming call guards the
+			// sites after it on this path.
+			if r, w := armsDeadline(pass, call, readArm, writeArm); r || w {
+				if r {
+					f.must[armedRead] = true
+				}
+				if w {
+					f.must[armedWrite] = true
+				}
+				return
+			}
+			if isReadSite(pass, call, idx) && !f.must[armedRead] {
+				pass.Reportf(call.Pos(), "conn read %s without a SetReadDeadline on every path to it — one stalled peer wedges this goroutine forever", types.ExprString(call.Fun))
+			}
+			if isWriteSite(pass, call, idx) && !f.must[armedWrite] {
+				pass.Reportf(call.Pos(), "conn write %s without a SetWriteDeadline on every path to it — one stalled peer wedges this goroutine forever", types.ExprString(call.Fun))
+			}
+		},
+	}
+	walkFlow(body, hooks)
+}
+
+// armsDeadline classifies a call as arming the read and/or write
+// deadline: a direct Set*Deadline method on a deadline-capable value,
+// or a call to a same-package function that transitively does so.
+func armsDeadline(pass *Pass, call *ast.CallExpr, readArm, writeArm map[*types.Func]bool) (read, write bool) {
+	if recv, name := selectorRecv(call); recv != nil && deadlineCapable(pass.TypeOf(recv)) {
+		switch name {
+		case "SetReadDeadline":
+			return true, false
+		case "SetWriteDeadline":
+			return false, true
+		case "SetDeadline":
+			return true, true
+		}
+	}
+	if fn := calleeFunc(pass, call); fn != nil {
+		return readArm[fn], writeArm[fn]
+	}
+	return false, false
+}
+
+// armingFuncs computes, transitively over package-local calls, the
+// functions whose body arms a read or write deadline (the armRead /
+// armWrite helper pattern).
+func armingFuncs(pass *Pass, idx map[*types.Func]*ast.FuncDecl) (readArm, writeArm map[*types.Func]bool) {
+	readArm, writeArm = map[*types.Func]bool{}, map[*types.Func]bool{}
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range idx {
+			if readArm[fn] && writeArm[fn] {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				r, w := false, false
+				if recv, name := selectorRecv(call); recv != nil && deadlineCapable(pass.TypeOf(recv)) {
+					r = name == "SetReadDeadline" || name == "SetDeadline"
+					w = name == "SetWriteDeadline" || name == "SetDeadline"
+				}
+				if callee := calleeFunc(pass, call); callee != nil && callee != fn {
+					r = r || readArm[callee]
+					w = w || writeArm[callee]
+				}
+				if r && !readArm[fn] {
+					readArm[fn] = true
+					changed = true
+				}
+				if w && !writeArm[fn] {
+					writeArm[fn] = true
+					changed = true
+				}
+				return true
+			})
+		}
+	}
+	return readArm, writeArm
+}
+
+// isReadSite reports whether a call reads from a connection: a .Read
+// on a conn-ish value, io.ReadFull/ReadAtLeast with a conn-ish reader,
+// or a same-package reader helper handed a conn-ish argument
+// (ReadFrame(c.br, …)).
+func isReadSite(pass *Pass, call *ast.CallExpr, idx map[*types.Func]*ast.FuncDecl) bool {
+	if recv, name := selectorRecv(call); recv != nil && name == "Read" && connishReader(pass.TypeOf(recv)) {
+		return true
+	}
+	if (isPkgFunc(pass, call, "io", "ReadFull") || isPkgFunc(pass, call, "io", "ReadAtLeast")) && len(call.Args) > 0 {
+		return connishReader(pass.TypeOf(call.Args[0]))
+	}
+	if fn := calleeFunc(pass, call); fn != nil {
+		if fd := idx[fn]; fd != nil && bodyDoesRawIO(pass, fd.Body, true) {
+			return anyConnishArg(pass, call, connishReader)
+		}
+	}
+	return false
+}
+
+// isWriteSite mirrors isReadSite for writes and bufio flushes.
+func isWriteSite(pass *Pass, call *ast.CallExpr, idx map[*types.Func]*ast.FuncDecl) bool {
+	if recv, name := selectorRecv(call); recv != nil {
+		if (name == "Write" || name == "Flush") && connishWriter(pass.TypeOf(recv)) {
+			return true
+		}
+	}
+	if fn := calleeFunc(pass, call); fn != nil {
+		if fd := idx[fn]; fd != nil && bodyDoesRawIO(pass, fd.Body, false) {
+			return anyConnishArg(pass, call, connishWriter)
+		}
+	}
+	return false
+}
+
+// anyConnishArg reports whether any call argument satisfies the
+// conn-ish predicate — the channel through which a generic helper
+// (ReadFrame over an io.Reader) gets attached to a real connection.
+func anyConnishArg(pass *Pass, call *ast.CallExpr, connish func(types.Type) bool) bool {
+	for _, a := range call.Args {
+		if connish(pass.TypeOf(a)) {
+			return true
+		}
+	}
+	return false
+}
+
+// bodyDoesRawIO reports whether a helper body performs raw read (or
+// write) operations on anything — the classifier that makes ReadFrame
+// a read helper even though its parameter is a plain io.Reader.
+func bodyDoesRawIO(pass *Pass, body *ast.BlockStmt, read bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if read {
+			if isPkgFunc(pass, call, "io", "ReadFull") || isPkgFunc(pass, call, "io", "ReadAtLeast") {
+				found = true
+			}
+			if _, name := selectorRecv(call); name == "Read" && len(call.Args) == 1 {
+				found = true
+			}
+		} else {
+			if _, name := selectorRecv(call); (name == "Write" && len(call.Args) == 1) || (name == "Flush" && len(call.Args) == 0) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// deadlineCapable reports whether a type's method set offers deadline
+// control (net.Conn and any test fake implementing it).
+func deadlineCapable(t types.Type) bool {
+	return hasAnyMethod(t, "SetReadDeadline", "SetWriteDeadline", "SetDeadline")
+}
+
+// connishReader: a deadline-capable conn or a bufio.Reader (whose fill
+// blocks on the underlying conn).
+func connishReader(t types.Type) bool {
+	return deadlineCapable(t) || isNamedType(t, "bufio", "Reader")
+}
+
+// connishWriter: a deadline-capable conn or a bufio.Writer (whose
+// flush blocks on the underlying conn).
+func connishWriter(t types.Type) bool {
+	return deadlineCapable(t) || isNamedType(t, "bufio", "Writer")
+}
+
+// declRecvDeadlineCapable reports whether a method's receiver type is
+// itself deadline-capable (a conn wrapper).
+func declRecvDeadlineCapable(pass *Pass, decl *ast.FuncDecl) bool {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return false
+	}
+	return deadlineCapable(pass.TypeOf(decl.Recv.List[0].Type))
+}

@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Waitdiscipline flags fire-and-forget goroutines: every `go`
+// statement in non-test code must be joined, either through a
+// sync.WaitGroup the spawned function marks Done (the spawner's
+// Add/Wait pair completes the handshake) or through a done-channel the
+// spawned closure signals (send or close) and the spawning function
+// waits on (receive, range, or select case). A goroutine nobody joins
+// outlives Shutdown, leaks its stack and its captures, and turns every
+// "drain leaves nothing running" guarantee into a hope. Resolution is
+// intra-package: a goroutine spawning a cross-package function whose
+// join protocol the analyzer cannot see is flagged — either restructure
+// so the join is visible or document the lifetime with a reasoned
+// //lint:ignore.
+var Waitdiscipline = &Analyzer{
+	Name: "waitdiscipline",
+	Doc:  "every go statement must be joined via WaitGroup.Done or a done-channel the spawner waits on",
+	Run:  runWaitdiscipline,
+}
+
+func runWaitdiscipline(pass *Pass) {
+	idx := declIndex(pass)
+	for _, file := range pass.Files {
+		funcScopes(file, func(_ *ast.FuncDecl, _ *ast.FuncLit, body *ast.BlockStmt) {
+			checkGoJoins(pass, body, idx)
+		})
+	}
+}
+
+// checkGoJoins examines every go statement spawned directly by one
+// function body (closures are separate scopes — funcScopes visits them
+// on their own, so a go inside a closure is judged against that
+// closure's joins).
+func checkGoJoins(pass *Pass, body *ast.BlockStmt, idx map[*types.Func]*ast.FuncDecl) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		spawned := spawnedBody(pass, g, idx)
+		if spawned != nil && callsWaitGroupDone(pass, spawned) {
+			return true // WaitGroup-joined: the body marks Done
+		}
+		if spawned != nil && signalsEnclosingWait(pass, spawned, body) {
+			return true // done-channel joined
+		}
+		if spawned == nil {
+			pass.Reportf(g.Go, "goroutine spawns a function this package cannot see into — join it via a WaitGroup or a done-channel received here, or //lint:ignore waitdiscipline with its lifetime")
+		} else {
+			pass.Reportf(g.Go, "goroutine is never joined — no WaitGroup.Done in the spawned function and no completion channel this function waits on; a leaked goroutine outlives every drain")
+		}
+		return true
+	})
+}
+
+// spawnedBody resolves the body of the function a go statement runs:
+// a literal, or a same-package declaration/method.
+func spawnedBody(pass *Pass, g *ast.GoStmt, idx map[*types.Func]*ast.FuncDecl) *ast.BlockStmt {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	if fn := calleeFunc(pass, g.Call); fn != nil {
+		if fd := idx[fn]; fd != nil {
+			return fd.Body
+		}
+	}
+	return nil
+}
+
+// callsWaitGroupDone reports whether a body contains a Done() call on
+// a sync.WaitGroup (including `defer wg.Done()`).
+func callsWaitGroupDone(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, name := selectorRecv(call)
+		if name == "Done" && isNamedType(pass.TypeOf(recv), "sync", "WaitGroup") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// signalsEnclosingWait reports whether the spawned body signals
+// completion on a channel (send or close) that the enclosing function
+// receives from (<-ch, range ch, or a select case) — the done-channel
+// join pattern.
+func signalsEnclosingWait(pass *Pass, spawned, enclosing *ast.BlockStmt) bool {
+	signals := map[types.Object]bool{}
+	ast.Inspect(spawned, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if obj := rootObj(pass, n.Chan); obj != nil {
+				signals[obj] = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+					if obj := rootObj(pass, n.Args[0]); obj != nil {
+						signals[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(signals) == 0 {
+		return false
+	}
+	joined := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if joined {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && signals[rootObj(pass, n.X)] {
+				joined = true
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok && signals[rootObj(pass, n.X)] {
+					joined = true
+				}
+			}
+		}
+		return !joined
+	})
+	return joined
+}

@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Wireoffset machine-checks the wire layout tables: a codec function
+// annotated with
+//
+//	//flexcore:wire <buffer> <size>
+//
+// (buffer: the parameter or local the function indexes; size: a
+// package-level integer constant or literal) must touch the buffer's
+// bytes [0, size) exactly once through its constant-bound index and
+// slice expressions — no gaps, no overlaps, nothing past the end. The
+// layout comments in wire.go/payload.go describe the frame; this
+// directive makes the code itself the checked table, CRC field
+// included: an encoder and decoder annotated against the same size
+// constant cannot silently disagree about where a field lives.
+// Accesses with non-constant bounds (payload[off:], the variable-length
+// tail) are outside the header tiling and are ignored.
+var Wireoffset = &Analyzer{
+	Name: "wireoffset",
+	Doc:  "//flexcore:wire codec functions must tile their buffer's declared size with no gaps or overlaps",
+	Run:  runWireoffset,
+}
+
+// WireDirective is the doc-comment directive marking a codec function
+// for offset tiling verification.
+const WireDirective = "//flexcore:wire"
+
+func runWireoffset(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, WireDirective) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, WireDirective))
+				if len(fields) != 2 {
+					pass.Reportf(c.Pos(), "malformed %s directive: need \"%s <buffer> <size>\"", WireDirective, WireDirective)
+					continue
+				}
+				checkWireTiling(pass, fd, c, fields[0], fields[1])
+			}
+		}
+	}
+}
+
+// byteInterval is one constant-bound access [lo, hi) into the buffer.
+type byteInterval struct {
+	lo, hi int64
+	pos    ast.Node
+}
+
+func checkWireTiling(pass *Pass, fd *ast.FuncDecl, dir *ast.Comment, buffer, sizeName string) {
+	size, ok := resolveWireSize(pass, sizeName)
+	if !ok {
+		pass.Reportf(dir.Pos(), "%s: size %q is neither an integer literal nor a package-level integer constant", WireDirective, sizeName)
+		return
+	}
+	intervals := collectIntervals(pass, fd.Body, buffer)
+	if len(intervals) == 0 {
+		pass.Reportf(dir.Pos(), "%s: no constant-bound accesses to %q found in %s — directive on the wrong function or buffer?", WireDirective, buffer, fd.Name.Name)
+		return
+	}
+	sort.Slice(intervals, func(i, j int) bool {
+		if intervals[i].lo != intervals[j].lo {
+			return intervals[i].lo < intervals[j].lo
+		}
+		return intervals[i].hi < intervals[j].hi
+	})
+	var cursor int64
+	for i, iv := range intervals {
+		// A repeated read of the same field (validate + decode) is one
+		// access, not an overlap.
+		if i > 0 && iv.lo == intervals[i-1].lo && iv.hi == intervals[i-1].hi {
+			continue
+		}
+		if iv.hi > size {
+			pass.Reportf(iv.pos.Pos(), "%s[%d:%d] runs past the declared size %s=%d", buffer, iv.lo, iv.hi, sizeName, size)
+			return
+		}
+		if iv.lo < cursor {
+			pass.Reportf(iv.pos.Pos(), "%s[%d:%d] overlaps the preceding field, which ends at byte %d — two fields claim the same wire bytes", buffer, iv.lo, iv.hi, cursor)
+			return
+		}
+		if iv.lo > cursor {
+			pass.Reportf(iv.pos.Pos(), "bytes [%d,%d) of %s are never touched — the layout has a gap before %s[%d:%d]", cursor, iv.lo, buffer, buffer, iv.lo, iv.hi)
+			return
+		}
+		cursor = iv.hi
+	}
+	if cursor != size {
+		last := intervals[len(intervals)-1]
+		pass.Reportf(last.pos.Pos(), "constant accesses to %s cover only [0,%d) of the declared %s=%d — bytes [%d,%d) are never touched", buffer, cursor, sizeName, size, cursor, size)
+	}
+}
+
+// collectIntervals gathers every constant-bound index/slice access on
+// the named buffer inside body. Whole-buffer uses (buf[:]) and
+// accesses with any non-constant bound are ignored.
+func collectIntervals(pass *Pass, body *ast.BlockStmt, buffer string) []byteInterval {
+	var out []byteInterval
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SliceExpr:
+			id, ok := ast.Unparen(n.X).(*ast.Ident)
+			if !ok || id.Name != buffer || n.High == nil {
+				return true
+			}
+			lo := int64(0)
+			if n.Low != nil {
+				v, ok := constIntValue(pass, n.Low)
+				if !ok {
+					return true
+				}
+				lo = v
+			}
+			hi, ok := constIntValue(pass, n.High)
+			if !ok {
+				return true
+			}
+			out = append(out, byteInterval{lo: lo, hi: hi, pos: n})
+		case *ast.IndexExpr:
+			id, ok := ast.Unparen(n.X).(*ast.Ident)
+			if !ok || id.Name != buffer {
+				return true
+			}
+			i, ok := constIntValue(pass, n.Index)
+			if !ok {
+				return true
+			}
+			out = append(out, byteInterval{lo: i, hi: i + 1, pos: n})
+		}
+		return true
+	})
+	return out
+}
+
+// constIntValue evaluates an expression to a compile-time integer.
+func constIntValue(pass *Pass, e ast.Expr) (int64, bool) {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(constant.ToInt(tv.Value))
+	return v, exact
+}
+
+// resolveWireSize resolves the directive's size operand: an integer
+// literal or a package-level integer constant.
+func resolveWireSize(pass *Pass, name string) (int64, bool) {
+	if v, err := strconv.ParseInt(name, 0, 64); err == nil {
+		return v, true
+	}
+	c, ok := pass.Pkg.Scope().Lookup(name).(*types.Const)
+	if !ok {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(constant.ToInt(c.Val()))
+	return v, exact
+}

@@ -30,8 +30,20 @@ import (
 // crosses the wire without Nagle/delayed-ACK stalls. An unflushed
 // Queue is never sent — a caller that Queues and then waits on Recv
 // without flushing deadlocks itself.
+//
+// By default I/O is unbounded: a server that accepts but never
+// responds wedges Recv (and Do/DoRetry) forever. SetIOTimeout arms a
+// per-operation deadline that turns such stalls into timeout errors
+// DoRetry can recover from.
 type Client struct {
 	rwc io.ReadWriteCloser
+
+	// dl is non-nil when rwc supports deadlines (a real net.Conn); the
+	// in-memory pipe of Server.InProcess does not. ioTimeout bounds each
+	// conn read and write when set (SetIOTimeout) — without it a stalled
+	// server wedges Recv, Do and DoRetry forever.
+	dl        net.Conn
+	ioTimeout time.Duration
 
 	// addr is the redial target for DoRetry's transport-error recovery;
 	// empty for clients wrapped around a non-dialable transport (pipes).
@@ -92,11 +104,48 @@ func splitmix(z *uint64) uint64 {
 // NewClient wraps an established connection with the same explicitly
 // sized I/O buffers the server uses (connReadBuf/connWriteBuf).
 func NewClient(rwc io.ReadWriteCloser) *Client {
-	return &Client{
+	c := &Client{
 		rwc: rwc,
 		bw:  bufio.NewWriterSize(rwc, connWriteBuf),
 		br:  bufio.NewReaderSize(rwc, connReadBuf),
 	}
+	if nc, ok := rwc.(net.Conn); ok {
+		c.dl = nc
+	}
+	return c
+}
+
+// SetIOTimeout bounds every subsequent conn read and write with a
+// deadline (zero restores unbounded I/O). Without it, a peer that
+// accepts but never responds wedges Recv — and therefore Do and
+// DoRetry — forever; with it, the stalled exchange surfaces as a
+// timeout error, which DoRetry treats like any transport error
+// (redialing when it can). No-op for non-deadline transports
+// (Server.InProcess pipes).
+func (c *Client) SetIOTimeout(d time.Duration) {
+	c.wmu.Lock()
+	c.rmu.Lock()
+	c.ioTimeout = d
+	c.rmu.Unlock()
+	c.wmu.Unlock()
+}
+
+// armWrite arms the write deadline ahead of a buffered write or flush.
+// Called under c.wmu.
+func (c *Client) armWrite() {
+	if c.dl == nil || c.ioTimeout <= 0 {
+		return
+	}
+	c.dl.SetWriteDeadline(time.Now().Add(c.ioTimeout)) //lint:ignore determinism wall-clock connection hygiene only — detection results never depend on it
+}
+
+// armRead arms the read deadline ahead of a response read. Called
+// under c.rmu.
+func (c *Client) armRead() {
+	if c.dl == nil || c.ioTimeout <= 0 {
+		return
+	}
+	c.dl.SetReadDeadline(time.Now().Add(c.ioTimeout)) //lint:ignore determinism wall-clock connection hygiene only — detection results never depend on it
 }
 
 // Dial connects to a flexserve TCP address with TCP_NODELAY set:
@@ -117,10 +166,10 @@ func Dial(addr string) (*Client, error) {
 func (c *Client) Send(req *DetectRequest) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	if err := c.queueLocked(req); err != nil {
+	if err := c.queueLocked(req); err != nil { //lint:ignore lockscope the write mutex is the shared stream's serialization point; the hold is bounded by the I/O deadline (SetIOTimeout)
 		return err
 	}
-	return c.bw.Flush()
+	return c.bw.Flush() //lint:ignore lockscope same bounded serialization window
 }
 
 // Queue encodes one detection request into the client's write buffer
@@ -132,17 +181,22 @@ func (c *Client) Send(req *DetectRequest) error {
 func (c *Client) Queue(req *DetectRequest) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	return c.queueLocked(req)
+	return c.queueLocked(req) //lint:ignore lockscope the write mutex is the shared stream's serialization point; the hold is bounded by the I/O deadline (SetIOTimeout)
 }
 
 // Flush writes out every queued request.
 func (c *Client) Flush() error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	return c.bw.Flush()
+	c.armWrite()
+	return c.bw.Flush() //lint:ignore lockscope the write mutex is the shared stream's serialization point; the hold is bounded by the I/O deadline (SetIOTimeout)
 }
 
+// queueLocked encodes one request into the write buffer, arming the
+// write deadline first: a Queue burst that outgrows the buffer flushes
+// to the conn from here.
 func (c *Client) queueLocked(req *DetectRequest) error {
+	c.armWrite()
 	c.payload = req.AppendPayload(c.payload[:0])
 	c.wire = AppendFrame(c.wire[:0], MsgDetect, c.payload)
 	_, err := c.bw.Write(c.wire)
@@ -153,7 +207,8 @@ func (c *Client) queueLocked(req *DetectRequest) error {
 func (c *Client) Recv(resp *DetectResponse) error {
 	c.rmu.Lock()
 	defer c.rmu.Unlock()
-	typ, payload, buf, err := ReadFrame(c.br, c.rbuf)
+	c.armRead()
+	typ, payload, buf, err := ReadFrame(c.br, c.rbuf) //lint:ignore lockscope the read mutex is the shared stream's serialization point; the hold is bounded by the I/O deadline (SetIOTimeout)
 	c.rbuf = buf
 	if err != nil {
 		return err
@@ -259,6 +314,7 @@ func (c *Client) redial() error {
 	c.rmu.Lock()
 	c.rwc.Close()
 	c.rwc = conn
+	c.dl = conn
 	c.bw.Reset(conn)
 	c.br.Reset(conn)
 	c.rbuf = c.rbuf[:0]

@@ -208,8 +208,11 @@ func (q *DetectRequest) AppendPayload(dst []byte) []byte {
 // Decode parses payload into q, reusing q's storage. Truncated,
 // oversized, inconsistent or non-finite payloads return ErrPayload or
 // ErrGeometry; Decode never panics on arbitrary input.
+// The header layout is machine-checked against reqHeaderSize
+// (wireoffset); the variable-length H/y tail is outside the tiling.
 //
 //flexcore:noalloc
+//flexcore:wire payload reqHeaderSize
 func (q *DetectRequest) Decode(payload []byte) error {
 	if len(payload) < reqHeaderSize {
 		return ErrPayload
@@ -225,7 +228,7 @@ func (q *DetectRequest) Decode(payload []byte) error {
 	subcarriers := int(binary.BigEndian.Uint16(payload[28:30]))
 	symbols := int(binary.BigEndian.Uint16(payload[30:32]))
 	q.DeadlineMicros = binary.BigEndian.Uint64(payload[32:40])
-	if err := q.SetGeometry(nr, nt, subcarriers, symbols); err != nil { //lint:ignore noalloc amortised: request storage regrows only past its high-water mark
+	if err := q.SetGeometry(nr, nt, subcarriers, symbols); err != nil {
 		return err
 	}
 	if len(payload) != q.payloadSize() {
@@ -303,12 +306,12 @@ func (r *DetectResponse) Decision(k, s, i int) int {
 //
 //flexcore:noalloc
 func appendRespHeader(dst []byte, frameID uint64, st Status, npe, nt, subcarriers, symbols int) []byte {
-	dst = appendU64(dst, frameID)             //lint:ignore noalloc amortised: response buffers are task/connection-owned and regrow only past their high-water mark
-	dst = append(dst, byte(st), 0)            //lint:ignore noalloc amortised: same reused buffer
-	dst = appendU16(dst, uint16(nt))          //lint:ignore noalloc amortised: same reused buffer
-	dst = appendU16(dst, uint16(subcarriers)) //lint:ignore noalloc amortised: same reused buffer
-	dst = appendU16(dst, uint16(symbols))     //lint:ignore noalloc amortised: same reused buffer
-	return appendU32(dst, uint32(npe))        //lint:ignore noalloc amortised: same reused buffer
+	dst = appendU64(dst, frameID)
+	dst = append(dst, byte(st), 0) //lint:ignore noalloc amortised: same reused buffer
+	dst = appendU16(dst, uint16(nt))
+	dst = appendU16(dst, uint16(subcarriers))
+	dst = appendU16(dst, uint16(symbols))
+	return appendU32(dst, uint32(npe))
 }
 
 // appendDecisions appends one subcarrier's detected burst (the
@@ -318,14 +321,18 @@ func appendRespHeader(dst []byte, frameID uint64, st Status, npe, nt, subcarrier
 func appendDecisions(dst []byte, decisions [][]int) []byte {
 	for _, row := range decisions {
 		for _, idx := range row {
-			dst = appendU16(dst, uint16(idx)) //lint:ignore noalloc amortised: response payload regrows only past its high-water mark
+			dst = appendU16(dst, uint16(idx))
 		}
 	}
 	return dst
 }
 
 // Decode parses payload into r, reusing r.Decisions. It never panics
-// on arbitrary input.
+// on arbitrary input. The header layout is machine-checked against
+// respHeaderSize (wireoffset); the decision tail is variable-length
+// and outside the tiling.
+//
+//flexcore:wire payload respHeaderSize
 func (r *DetectResponse) Decode(payload []byte) error {
 	if len(payload) < respHeaderSize {
 		return ErrPayload
@@ -412,6 +419,7 @@ func appendC128(dst []byte, v complex128) []byte {
 // would poison every distance computation downstream).
 //
 //flexcore:noalloc
+//flexcore:wire b c128Size
 func decodeC128(b []byte) (complex128, bool) {
 	re := math.Float64frombits(binary.BigEndian.Uint64(b[0:8]))
 	im := math.Float64frombits(binary.BigEndian.Uint64(b[8:16]))

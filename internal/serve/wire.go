@@ -98,8 +98,11 @@ var (
 // extended slice. It allocates only when dst lacks capacity, so a
 // caller reusing its buffer frames messages allocation-free in steady
 // state.
+// The header layout is machine-checked: the constant-bound writes
+// below must tile headerSize exactly (wireoffset).
 //
 //flexcore:noalloc
+//flexcore:wire hdr headerSize
 func AppendFrame(dst []byte, typ MsgType, payload []byte) []byte {
 	var hdr [headerSize]byte
 	copy(hdr[0:4], magic[:])
@@ -113,8 +116,12 @@ func AppendFrame(dst []byte, typ MsgType, payload []byte) []byte {
 
 // parseHeader validates one frame header and returns the type, payload
 // length and expected payload CRC.
+// Decode-side twin of AppendFrame's layout, checked against the same
+// headerSize (wireoffset): the two cannot silently disagree about
+// where a field lives, CRC included.
 //
 //flexcore:noalloc
+//flexcore:wire hdr headerSize
 func parseHeader(hdr []byte) (typ MsgType, n int, crc uint32, err error) {
 	if [4]byte(hdr[0:4]) != magic || hdr[5] != 0 {
 		return 0, 0, 0, ErrHeader
